@@ -1,0 +1,428 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablations called out in DESIGN.md §5. Custom metrics carry the
+// reproduced quantities (ratios, efficiencies, sweet spots) so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+package montblanc
+
+import (
+	"testing"
+
+	"montblanc/internal/apps/bigdft"
+	"montblanc/internal/apps/chess"
+	"montblanc/internal/apps/coremark"
+	"montblanc/internal/apps/linpack"
+	"montblanc/internal/apps/specfem"
+	"montblanc/internal/autotune"
+	"montblanc/internal/cluster"
+	"montblanc/internal/core"
+	"montblanc/internal/cpu"
+	"montblanc/internal/experiments"
+	"montblanc/internal/magicfilter"
+	"montblanc/internal/mem"
+	"montblanc/internal/membench"
+	"montblanc/internal/osmodel"
+	"montblanc/internal/platform"
+	"montblanc/internal/simmpi"
+	"montblanc/internal/stats"
+	"montblanc/internal/top500"
+	"montblanc/internal/units"
+	"montblanc/internal/xrand"
+)
+
+// --- Figure 1 ----------------------------------------------------------
+
+func BenchmarkFig1Top500Fit(b *testing.B) {
+	var year float64
+	for i := 0; i < b.N; i++ {
+		y, err := top500.ProjectedExaflopYear()
+		if err != nil {
+			b.Fatal(err)
+		}
+		year = y
+	}
+	b.ReportMetric(year, "exaflop-year")
+}
+
+// --- Table II: the real kernels -----------------------------------------
+
+func BenchmarkTable2LinpackSolve(b *testing.B) {
+	const n = 128
+	a := linpack.RandomMatrix(n, 1)
+	rhs := make([]float64, n)
+	rng := xrand.New(2)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(linpack.Flops(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "host-MFLOPS")
+	b.ReportMetric(linpack.Mflops(platform.Snowball()), "model-snowball-MFLOPS")
+	b.ReportMetric(linpack.Mflops(platform.XeonX5550()), "model-xeon-MFLOPS")
+}
+
+func BenchmarkTable2CoreMark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := coremark.Run(1, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(coremark.Score(platform.Snowball()), "model-snowball-ops/s")
+	b.ReportMetric(coremark.Score(platform.XeonX5550()), "model-xeon-ops/s")
+}
+
+func BenchmarkTable2StockFishSearch(b *testing.B) {
+	board := chess.StartPos()
+	var nodes uint64
+	for i := 0; i < b.N; i++ {
+		res := chess.Search(board, 4)
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "host-nodes/s")
+	b.ReportMetric(chess.NodesPerSecond(platform.Snowball()), "model-snowball-nodes/s")
+	b.ReportMetric(chess.NodesPerSecond(platform.XeonX5550()), "model-xeon-nodes/s")
+}
+
+func BenchmarkTable2SpecfemStep(b *testing.B) {
+	s, err := specfem.NewSolver(256, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetGaussian(0.5, 0.05)
+	dt := s.StableDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(dt)
+	}
+	b.ReportMetric(specfem.SmallInstanceTime(platform.Snowball()), "model-snowball-s")
+	b.ReportMetric(specfem.SmallInstanceTime(platform.XeonX5550()), "model-xeon-s")
+}
+
+func BenchmarkTable2BigDFTSmooth(b *testing.B) {
+	g, err := bigdft.NewGrid(24, 24, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Randomize(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Smooth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bigdft.SmallInstanceTime(platform.Snowball()), "model-snowball-s")
+	b.ReportMetric(bigdft.SmallInstanceTime(platform.XeonX5550()), "model-xeon-s")
+}
+
+func BenchmarkTable2FullComparison(b *testing.B) {
+	var rows []core.Comparison
+	for i := 0; i < b.N; i++ {
+		r, err := core.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].Ratio, "linpack-ratio")
+	b.ReportMetric(rows[4].Ratio, "bigdft-ratio")
+}
+
+// --- Figure 3: strong scaling -------------------------------------------
+
+func BenchmarkFig3aLinpackScaling(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.Tibidabo(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := linpack.StrongScaling(c, []int{4, 16, 48},
+			linpack.ScalingConfig{N: 6144, NB: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = pts[len(pts)-1].Efficiency
+	}
+	b.ReportMetric(eff, "efficiency@48")
+}
+
+func BenchmarkFig3bSpecfemScaling(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.Tibidabo(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := specfem.StrongScaling(c, []int{4, 32, 128},
+			specfem.ScalingConfig{Steps: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = pts[len(pts)-1].Efficiency
+	}
+	b.ReportMetric(eff, "efficiency@128")
+}
+
+func BenchmarkFig3cBigDFTScaling(b *testing.B) {
+	var eff float64
+	var drops float64
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.Tibidabo(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := bigdft.StrongScaling(c, []int{1, 8, 36},
+			bigdft.ScalingConfig{Iters: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		eff, drops = last.Efficiency, float64(last.Drops)
+	}
+	b.ReportMetric(eff, "efficiency@36")
+	b.ReportMetric(drops, "drops@36")
+}
+
+// --- Figure 4 ------------------------------------------------------------
+
+func BenchmarkFig4CongestionAnalysis(b *testing.B) {
+	var delayedFrac float64
+	for i := 0; i < b.N; i++ {
+		_, cr, err := experiments.Fig4Data(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delayedFrac = float64(cr.Delayed) / float64(cr.Instances)
+	}
+	b.ReportMetric(delayedFrac, "delayed-fraction")
+}
+
+// --- Figure 5 -------------------------------------------------------------
+
+func BenchmarkFig5RTSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		// The full 42x50 sweep: the quick one is too short for the
+		// degraded scheduler window to strike.
+		res, err := experiments.Fig5Data(experiments.Options{Seed: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Modes.Ratio
+	}
+	b.ReportMetric(ratio, "mode-ratio")
+}
+
+// --- Figure 6 --------------------------------------------------------------
+
+func BenchmarkFig6OptimizationGrid(b *testing.B) {
+	var armBest, xeonBest float64
+	for i := 0; i < b.N; i++ {
+		xeon, snow, err := experiments.Fig6Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g, ok := membench.Find(snow, cpu.W64, 8); ok {
+			armBest = g.Bandwidth / 1e9
+		}
+		if g, ok := membench.Find(xeon, cpu.W128, 8); ok {
+			xeonBest = g.Bandwidth / 1e9
+		}
+	}
+	b.ReportMetric(armBest, "arm-best-GB/s")
+	b.ReportMetric(xeonBest, "xeon-best-GB/s")
+}
+
+// --- Figure 7 ---------------------------------------------------------------
+
+func BenchmarkFig7MagicfilterSweep(b *testing.B) {
+	var nehHi, tegHi float64
+	for i := 0; i < b.N; i++ {
+		neh, teg, err := experiments.Fig7Data(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, nh := magicfilter.SweetSpot(neh, 0.15)
+		_, th := magicfilter.SweetSpot(teg, 0.15)
+		nehHi, tegHi = float64(nh), float64(th)
+	}
+	b.ReportMetric(nehHi, "nehalem-sweet-hi")
+	b.ReportMetric(tegHi, "tegra2-sweet-hi")
+}
+
+func BenchmarkFig7MagicfilterKernel(b *testing.B) {
+	src := make([]float64, 4096)
+	dst := make([]float64, 4096)
+	rng := xrand.New(3)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := magicfilter.Apply1DUnrolled(dst, src, 1+i%12); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(src) * 8))
+}
+
+// --- Ablations (DESIGN.md §5) -----------------------------------------------
+
+// Ablation 1: physically-indexed caches + page allocator. Random pages
+// must cost bandwidth on the two-colour Snowball L1.
+func BenchmarkAblationPageColoring(b *testing.B) {
+	p := platform.Snowball()
+	cfg := membench.Config{ArrayBytes: 32 * units.KiB}
+	var contig, random float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for seed := uint64(1); seed <= 4; seed++ {
+			r, err := membench.Run(p, osmodel.RandomPages.NewMapper(seed), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += r.Bandwidth
+		}
+		random = sum / 4
+		r, err := membench.Run(p, mem.NewContiguousMapper(0), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		contig = r.Bandwidth
+	}
+	b.ReportMetric(contig/1e9, "contiguous-GB/s")
+	b.ReportMetric(random/1e9, "random-GB/s")
+}
+
+// Ablation 2: finite switch buffers. Infinite buffers erase the BigDFT
+// collapse.
+func BenchmarkAblationSwitchBuffers(b *testing.B) {
+	var finite, infinite float64
+	for i := 0; i < b.N; i++ {
+		c1, err := cluster.Tibidabo(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := bigdft.TimeDistributed(c1, 36, bigdft.ScalingConfig{Iters: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c2, err := cluster.Tibidabo(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c2.Net.InfiniteBuffers()
+		r2, err := bigdft.TimeDistributed(c2, 36, bigdft.ScalingConfig{Iters: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		finite, infinite = r1.Seconds, r2.Seconds
+	}
+	b.ReportMetric(finite/infinite, "slowdown-from-buffers")
+}
+
+// Ablation 3: the register-pressure spill model. Without it (spill-free
+// register file) ARM unrolling of 128-bit loads would look beneficial.
+func BenchmarkAblationSpillModel(b *testing.B) {
+	var withSpill, without float64
+	for i := 0; i < b.N; i++ {
+		p := platform.Snowball()
+		cfg := membench.Config{ArrayBytes: 50 * units.KiB, Width: cpu.W128, Unroll: 8}
+		r, err := membench.Run(p, nil, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withSpill = r.Bandwidth
+		nospill := platform.Snowball()
+		nospill.CPU.Regs = [3]int{64, 64, 64}
+		r2, err := membench.Run(nospill, nil, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without = r2.Bandwidth
+	}
+	b.ReportMetric(withSpill/1e9, "spill-model-GB/s")
+	b.ReportMetric(without/1e9, "no-spill-GB/s")
+}
+
+// Ablation 4: alltoallv schedule. The pairwise exchange sidesteps the
+// incast that ruins the linear schedule.
+func BenchmarkAblationAlltoallvSchedule(b *testing.B) {
+	run := func(algo simmpi.AlltoallvAlgorithm) float64 {
+		c, err := cluster.Tibidabo(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := c.Run(cluster.JobConfig{Ranks: 36, CoreFlopsPerSec: 1e9},
+			func(p *simmpi.Proc) error {
+				counts := make([]int, p.Size())
+				for j := range counts {
+					counts[j] = 48 << 10
+				}
+				for it := 0; it < 3; it++ {
+					if err := p.Alltoallv(counts, algo); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep.Seconds
+	}
+	var linear, pairwise float64
+	for i := 0; i < b.N; i++ {
+		linear = run(simmpi.AlltoallvLinear)
+		pairwise = run(simmpi.AlltoallvPairwise)
+	}
+	b.ReportMetric(linear/pairwise, "linear-vs-pairwise")
+}
+
+// --- Auto-tuning harness ------------------------------------------------------
+
+func BenchmarkAutotuneExhaustive(b *testing.B) {
+	p := platform.Tegra2Node()
+	space := autotune.Space{Params: []autotune.Param{
+		{Name: "unroll", Values: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+	}}
+	obj := func(cfg autotune.Config) (float64, error) {
+		r, err := magicfilter.MeasureVariant(p, 1024, cfg["unroll"])
+		if err != nil {
+			return 0, err
+		}
+		return r.CyclesPerPoint, nil
+	}
+	var best float64
+	for i := 0; i < b.N; i++ {
+		res, err := autotune.Exhaustive(space, obj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = float64(res.Best["unroll"])
+	}
+	b.ReportMetric(best, "best-unroll")
+}
+
+// --- Statistics used by Figure 5 ----------------------------------------------
+
+func BenchmarkStatsTwoModes(b *testing.B) {
+	rng := xrand.New(1)
+	xs := make([]float64, 2100)
+	for i := range xs {
+		if i%5 == 0 {
+			xs[i] = 200 + rng.NormFloat64()*5
+		} else {
+			xs[i] = 1000 + rng.NormFloat64()*20
+		}
+	}
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = stats.TwoModes(xs).Ratio
+	}
+	b.ReportMetric(ratio, "mode-ratio")
+}

@@ -1,0 +1,68 @@
+// Command montblanc regenerates the tables and figures of "Performance
+// Analysis of HPC Applications on Low-Power Embedded Platforms" (DATE
+// 2013) from the simulation models in this repository.
+//
+// Usage:
+//
+//	montblanc list             # show available experiments
+//	montblanc table2           # reproduce one table/figure
+//	montblanc all              # reproduce everything
+//	montblanc -quick all       # smaller instances, seconds instead of minutes
+//	montblanc -seed 7 fig5     # override the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"montblanc/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size instances")
+	seed := flag.Uint64("seed", 0, "override the default deterministic seed (0 = default)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	arg := flag.Arg(0)
+	switch arg {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		if err := experiments.RunAll(os.Stdout, opts); err != nil {
+			fatal(err)
+		}
+	default:
+		e, ok := experiments.Find(arg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "montblanc: unknown experiment %q (try 'montblanc list')\n", arg)
+			os.Exit(2)
+		}
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: montblanc [-quick] [-seed N] <experiment|list|all>
+
+Reproduces the tables and figures of Stanisic et al., "Performance
+Analysis of HPC Applications on Low-Power Embedded Platforms" (DATE'13).
+
+`)
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "montblanc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,9 @@
+// Package montblanc reproduces "Performance Analysis of HPC Applications
+// on Low-Power Embedded Platforms" (Stanisic et al., DATE 2013): the
+// Mont-Blanc project's characterization of ARM-based platforms against
+// x86 servers, from single-node energy ratios through cluster-scale
+// congestion pathologies to auto-tuned convolution kernels.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
+// measured results, and cmd/montblanc for the experiment driver.
+package montblanc

@@ -1,0 +1,246 @@
+package chess
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"montblanc/internal/platform"
+	"montblanc/internal/power"
+)
+
+func TestFENRoundTripStartPos(t *testing.T) {
+	b := StartPos()
+	if b.Side != White {
+		t.Error("start position side wrong")
+	}
+	if b.Castle != castleWK|castleWQ|castleBK|castleBQ {
+		t.Error("start position castling rights wrong")
+	}
+	diagram := b.String()
+	if !strings.HasPrefix(diagram, "r n b q k b n r") {
+		t.Errorf("diagram wrong:\n%s", diagram)
+	}
+}
+
+func TestFENErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"8/8/8/8/8/8/8/8 w - -", // no kings
+		"rnbqkbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR x KQkq -", // bad side
+		"9/8/8/8/8/8/8/4K2k w - -",                             // bad digit
+		"4k3/8/8/8/8/8/8/4K3 w ZZ -",                           // bad castling
+		"4k3/8/8/8/8/8/8/4K3 w - z9",                           // bad ep square
+	}
+	for _, fen := range bad {
+		if _, err := FromFEN(fen); err == nil {
+			t.Errorf("FEN %q accepted", fen)
+		}
+	}
+}
+
+func TestSquareName(t *testing.T) {
+	if SquareName(0) != "a1" || SquareName(63) != "h8" || SquareName(28) != "e4" {
+		t.Error("square names wrong")
+	}
+}
+
+// The canonical perft values from the initial position.
+func TestPerftStartPos(t *testing.T) {
+	want := []uint64{1, 20, 400, 8902, 197281}
+	b := StartPos()
+	for depth, w := range want {
+		if got := Perft(b, depth); got != w {
+			t.Errorf("perft(%d) = %d, want %d", depth, got, w)
+		}
+	}
+}
+
+// Kiwipete: the standard torture position for castling, en passant,
+// promotions and pins.
+func TestPerftKiwipete(t *testing.T) {
+	b, err := FromFEN("r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 48, 2039, 97862}
+	for depth, w := range want {
+		if got := Perft(b, depth); got != w {
+			t.Errorf("kiwipete perft(%d) = %d, want %d", depth, got, w)
+		}
+	}
+}
+
+// Position 3 from the Chess Programming Wiki: en-passant discovered
+// checks.
+func TestPerftPosition3(t *testing.T) {
+	b, err := FromFEN("8/2p5/3p4/KP5r/1R3p1k/8/4P1P1/8 w - -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 14, 191, 2812, 43238}
+	for depth, w := range want {
+		if got := Perft(b, depth); got != w {
+			t.Errorf("pos3 perft(%d) = %d, want %d", depth, got, w)
+		}
+	}
+}
+
+func TestEnPassantCapture(t *testing.T) {
+	// White pawn on e5, black plays d7d5, white captures e5xd6 e.p.
+	b, err := FromFEN("4k3/3p4/8/4P3/8/8/8/4K3 b - -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var double Move
+	for _, m := range b.LegalMoves() {
+		if m.String() == "d7d5" {
+			double = m
+		}
+	}
+	if double == 0 {
+		t.Fatal("double push not generated")
+	}
+	nb := b.Make(double)
+	if nb.EP < 0 || SquareName(nb.EP) != "d6" {
+		t.Fatalf("ep square = %d", nb.EP)
+	}
+	var ep Move
+	for _, m := range nb.LegalMoves() {
+		if m.String() == "e5d6" && m.kind() == moveEnPassant {
+			ep = m
+		}
+	}
+	if ep == 0 {
+		t.Fatal("en passant capture not generated")
+	}
+	after := nb.Make(ep)
+	if after.Pieces[Black][Pawn] != 0 {
+		t.Error("captured pawn still on board")
+	}
+}
+
+func TestCastlingThroughCheckForbidden(t *testing.T) {
+	// Black rook on f8 attacks f1: white cannot castle kingside.
+	b, err := FromFEN("4kr2/8/8/8/8/8/8/4K2R w K -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range b.LegalMoves() {
+		if m.kind() == moveCastle {
+			t.Errorf("castling generated through an attacked square: %v", m)
+		}
+	}
+	// Remove the attack: castling reappears.
+	b2, _ := FromFEN("4k3/8/8/8/8/8/8/4K2R w K -")
+	found := false
+	for _, m := range b2.LegalMoves() {
+		if m.kind() == moveCastle {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("legal castling not generated")
+	}
+}
+
+func TestPromotionGeneratesAllPieces(t *testing.T) {
+	b, err := FromFEN("8/P3k3/8/8/8/8/8/4K3 w - -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promos := map[string]bool{}
+	for _, m := range b.LegalMoves() {
+		if m.Promo() != 0 {
+			promos[m.String()] = true
+		}
+	}
+	for _, want := range []string{"a7a8q", "a7a8r", "a7a8b", "a7a8n"} {
+		if !promos[want] {
+			t.Errorf("promotion %s not generated", want)
+		}
+	}
+}
+
+func TestSearchFindsMateInOne(t *testing.T) {
+	// Back-rank mate: Ra8#.
+	b, err := FromFEN("6k1/5ppp/8/8/8/8/8/R3K3 w - -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Search(b, 3)
+	if res.BestMove.String() != "a1a8" {
+		t.Errorf("best move = %v, want a1a8 (mate)", res.BestMove)
+	}
+	if res.Score < mateScore {
+		t.Errorf("score %d does not reflect mate", res.Score)
+	}
+	if res.Nodes == 0 {
+		t.Error("no nodes searched")
+	}
+}
+
+func TestSearchPrefersCapture(t *testing.T) {
+	// White queen can take a free rook.
+	b, err := FromFEN("4k3/8/8/3r4/8/3Q4/8/4K3 w - -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Search(b, 3)
+	if res.BestMove.String() != "d3d5" {
+		t.Errorf("best move = %v, want d3d5", res.BestMove)
+	}
+}
+
+func TestStalemateScoresZero(t *testing.T) {
+	// Classic stalemate: black to move, no legal moves, not in check.
+	b, err := FromFEN("7k/5Q2/6K1/8/8/8/8/8 b - -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.LegalMoves()) != 0 {
+		t.Fatal("expected stalemate")
+	}
+	if b.InCheck(Black) {
+		t.Fatal("stalemate position in check")
+	}
+	res := Search(b, 2)
+	if res.Score != 0 {
+		t.Errorf("stalemate score = %d, want 0", res.Score)
+	}
+}
+
+func TestEvaluateSymmetry(t *testing.T) {
+	b := StartPos()
+	if e := Evaluate(b); e != 0 {
+		t.Errorf("start position eval = %d, want 0", e)
+	}
+}
+
+// Table II row 3: 224113 vs 4521733 nodes/s, ratio 20.2, energy 0.5.
+func TestTable2StockFishRow(t *testing.T) {
+	snow := NodesPerSecond(platform.Snowball())
+	xeon := NodesPerSecond(platform.XeonX5550())
+	if math.Abs(snow-224113)/224113 > 0.05 {
+		t.Errorf("Snowball = %.0f nodes/s, want ~224113", snow)
+	}
+	if math.Abs(xeon-4521733)/4521733 > 0.05 {
+		t.Errorf("Xeon = %.0f nodes/s, want ~4521733", xeon)
+	}
+	if ratio := xeon / snow; math.Abs(ratio-20.2)/20.2 > 0.10 {
+		t.Errorf("ratio = %.1f, want ~20.2", ratio)
+	}
+	eRatio := power.EnergyRatioByRate(
+		platform.Snowball().Power, snow, platform.XeonX5550().Power, xeon)
+	if math.Abs(eRatio-0.5) > 0.08 {
+		t.Errorf("energy ratio = %.2f, want ~0.5", eRatio)
+	}
+}
+
+// The 64-bit emulation tax: ARM needs > 2x the instructions per node.
+func TestBitboardEmulationTax(t *testing.T) {
+	tax := instrPerNode(platform.ARM32) / instrPerNode(platform.X8664)
+	if tax < 2 || tax > 3 {
+		t.Errorf("instruction tax = %.2f, want 2-3x", tax)
+	}
+}

@@ -1,0 +1,335 @@
+package chess
+
+import "math/bits"
+
+// Move encodes from, to, promotion piece (0 = none) and a kind flag.
+type Move uint32
+
+// Move kinds.
+const (
+	moveNormal = iota
+	moveCastle
+	moveEnPassant
+	moveDouble
+)
+
+func newMove(from, to, promo, kind int) Move {
+	return Move(from | to<<6 | promo<<12 | kind<<16)
+}
+
+// From returns the origin square.
+func (m Move) From() int { return int(m) & 63 }
+
+// To returns the destination square.
+func (m Move) To() int { return int(m>>6) & 63 }
+
+// Promo returns the promotion piece kind (0 when not a promotion; pawns
+// never promote to pawns, so 0 is unambiguous).
+func (m Move) Promo() int { return int(m>>12) & 15 }
+
+func (m Move) kind() int { return int(m>>16) & 3 }
+
+// String returns long algebraic notation (e2e4, e7e8q).
+func (m Move) String() string {
+	s := SquareName(m.From()) + SquareName(m.To())
+	if p := m.Promo(); p != 0 {
+		s += string(pieceChars[p])
+	}
+	return s
+}
+
+// Precomputed attack tables.
+var (
+	knightAttacks [64]Bitboard
+	kingAttacks   [64]Bitboard
+	pawnAttacks   [2][64]Bitboard
+)
+
+func init() {
+	dirs := func(sq int, deltas [][2]int) Bitboard {
+		var bb Bitboard
+		r, f := sq/8, sq%8
+		for _, d := range deltas {
+			nr, nf := r+d[0], f+d[1]
+			if nr >= 0 && nr < 8 && nf >= 0 && nf < 8 {
+				bb |= bit(nr*8 + nf)
+			}
+		}
+		return bb
+	}
+	for sq := 0; sq < 64; sq++ {
+		knightAttacks[sq] = dirs(sq, [][2]int{
+			{2, 1}, {2, -1}, {-2, 1}, {-2, -1}, {1, 2}, {1, -2}, {-1, 2}, {-1, -2},
+		})
+		kingAttacks[sq] = dirs(sq, [][2]int{
+			{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+		})
+		pawnAttacks[White][sq] = dirs(sq, [][2]int{{1, 1}, {1, -1}})
+		pawnAttacks[Black][sq] = dirs(sq, [][2]int{{-1, 1}, {-1, -1}})
+	}
+}
+
+var bishopDirs = [4][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+var rookDirs = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// slidingAttacks walks rays from sq until blocked by occ.
+func slidingAttacks(sq int, occ Bitboard, diag bool) Bitboard {
+	var bb Bitboard
+	dirSet := rookDirs
+	if diag {
+		dirSet = bishopDirs
+	}
+	r0, f0 := sq/8, sq%8
+	for _, d := range dirSet {
+		r, f := r0+d[0], f0+d[1]
+		for r >= 0 && r < 8 && f >= 0 && f < 8 {
+			s := r*8 + f
+			bb |= bit(s)
+			if occ&bit(s) != 0 {
+				break
+			}
+			r += d[0]
+			f += d[1]
+		}
+	}
+	return bb
+}
+
+// Attacked reports whether square sq is attacked by side c.
+func (b *Board) Attacked(sq int, c Color) bool {
+	if pawnAttacks[c.Other()][sq]&b.Pieces[c][Pawn] != 0 {
+		return true
+	}
+	if knightAttacks[sq]&b.Pieces[c][Knight] != 0 {
+		return true
+	}
+	if kingAttacks[sq]&b.Pieces[c][King] != 0 {
+		return true
+	}
+	diag := slidingAttacks(sq, b.All, true)
+	if diag&(b.Pieces[c][Bishop]|b.Pieces[c][Queen]) != 0 {
+		return true
+	}
+	straight := slidingAttacks(sq, b.All, false)
+	return straight&(b.Pieces[c][Rook]|b.Pieces[c][Queen]) != 0
+}
+
+// InCheck reports whether side c's king is attacked.
+func (b *Board) InCheck(c Color) bool {
+	king := bits.TrailingZeros64(uint64(b.Pieces[c][King]))
+	return b.Attacked(king, c.Other())
+}
+
+// pseudoMoves appends all pseudo-legal moves for the side to move.
+func (b *Board) pseudoMoves(out []Move) []Move {
+	us, them := b.Side, b.Side.Other()
+	own, opp := b.Occ[us], b.Occ[them]
+
+	// Pawns.
+	fwd, startRank, promoRank := 8, 1, 7
+	if us == Black {
+		fwd, startRank, promoRank = -8, 6, 0
+	}
+	pawns := b.Pieces[us][Pawn]
+	for bb := pawns; bb != 0; bb &= bb - 1 {
+		from := bits.TrailingZeros64(uint64(bb))
+		to := from + fwd
+		if to >= 0 && to < 64 && b.All&bit(to) == 0 {
+			if to/8 == promoRank {
+				for _, p := range []int{Queen, Rook, Bishop, Knight} {
+					out = append(out, newMove(from, to, p, moveNormal))
+				}
+			} else {
+				out = append(out, newMove(from, to, 0, moveNormal))
+				if from/8 == startRank {
+					to2 := to + fwd
+					if b.All&bit(to2) == 0 {
+						out = append(out, newMove(from, to2, 0, moveDouble))
+					}
+				}
+			}
+		}
+		for att := pawnAttacks[us][from]; att != 0; att &= att - 1 {
+			to := bits.TrailingZeros64(uint64(att))
+			if opp&bit(to) != 0 {
+				if to/8 == promoRank {
+					for _, p := range []int{Queen, Rook, Bishop, Knight} {
+						out = append(out, newMove(from, to, p, moveNormal))
+					}
+				} else {
+					out = append(out, newMove(from, to, 0, moveNormal))
+				}
+			} else if to == b.EP {
+				out = append(out, newMove(from, to, 0, moveEnPassant))
+			}
+		}
+	}
+
+	appendTargets := func(from int, targets Bitboard) []Move {
+		for t := targets &^ own; t != 0; t &= t - 1 {
+			out = append(out, newMove(from, bits.TrailingZeros64(uint64(t)), 0, moveNormal))
+		}
+		return out
+	}
+	for bb := b.Pieces[us][Knight]; bb != 0; bb &= bb - 1 {
+		from := bits.TrailingZeros64(uint64(bb))
+		out = appendTargets(from, knightAttacks[from])
+	}
+	for bb := b.Pieces[us][Bishop]; bb != 0; bb &= bb - 1 {
+		from := bits.TrailingZeros64(uint64(bb))
+		out = appendTargets(from, slidingAttacks(from, b.All, true))
+	}
+	for bb := b.Pieces[us][Rook]; bb != 0; bb &= bb - 1 {
+		from := bits.TrailingZeros64(uint64(bb))
+		out = appendTargets(from, slidingAttacks(from, b.All, false))
+	}
+	for bb := b.Pieces[us][Queen]; bb != 0; bb &= bb - 1 {
+		from := bits.TrailingZeros64(uint64(bb))
+		out = appendTargets(from, slidingAttacks(from, b.All, true)|slidingAttacks(from, b.All, false))
+	}
+	kingSq := bits.TrailingZeros64(uint64(b.Pieces[us][King]))
+	out = appendTargets(kingSq, kingAttacks[kingSq])
+
+	// Castling: rights present, path empty, king path unattacked.
+	type castleRule struct {
+		right      uint8
+		kFrom, kTo int
+		empty      []int
+		safe       []int
+	}
+	var rules []castleRule
+	if us == White {
+		rules = []castleRule{
+			{castleWK, 4, 6, []int{5, 6}, []int{4, 5, 6}},
+			{castleWQ, 4, 2, []int{1, 2, 3}, []int{4, 3, 2}},
+		}
+	} else {
+		rules = []castleRule{
+			{castleBK, 60, 62, []int{61, 62}, []int{60, 61, 62}},
+			{castleBQ, 60, 58, []int{57, 58, 59}, []int{60, 59, 58}},
+		}
+	}
+	for _, r := range rules {
+		if b.Castle&r.right == 0 {
+			continue
+		}
+		ok := true
+		for _, s := range r.empty {
+			if b.All&bit(s) != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, s := range r.safe {
+			if b.Attacked(s, them) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, newMove(r.kFrom, r.kTo, 0, moveCastle))
+		}
+	}
+	return out
+}
+
+// Make applies a move and returns the resulting position (copy-make).
+// The move must come from this position's move generation.
+func (b *Board) Make(m Move) Board {
+	nb := *b
+	us, them := b.Side, b.Side.Other()
+	from, to := m.From(), m.To()
+	piece := nb.pieceAt(us, from)
+
+	// Capture (including rook capture updating castle rights below).
+	if cap := nb.pieceAt(them, to); cap >= 0 {
+		nb.remove(them, cap, to)
+	}
+	nb.remove(us, piece, from)
+	placed := piece
+	if m.Promo() != 0 {
+		placed = m.Promo()
+	}
+	nb.place(us, placed, to)
+
+	nb.EP = -1
+	switch m.kind() {
+	case moveDouble:
+		nb.EP = (from + to) / 2
+	case moveEnPassant:
+		capSq := to - 8
+		if us == Black {
+			capSq = to + 8
+		}
+		nb.remove(them, Pawn, capSq)
+	case moveCastle:
+		var rFrom, rTo int
+		switch to {
+		case 6:
+			rFrom, rTo = 7, 5
+		case 2:
+			rFrom, rTo = 0, 3
+		case 62:
+			rFrom, rTo = 63, 61
+		case 58:
+			rFrom, rTo = 56, 59
+		}
+		nb.remove(us, Rook, rFrom)
+		nb.place(us, Rook, rTo)
+	}
+
+	// Castling rights decay when king or rooks move or rooks fall.
+	clear := func(sq int, right uint8) {
+		if from == sq || to == sq {
+			nb.Castle &^= right
+		}
+	}
+	if piece == King {
+		if us == White {
+			nb.Castle &^= castleWK | castleWQ
+		} else {
+			nb.Castle &^= castleBK | castleBQ
+		}
+	}
+	clear(0, castleWQ)
+	clear(7, castleWK)
+	clear(56, castleBQ)
+	clear(63, castleBK)
+
+	nb.Side = them
+	return nb
+}
+
+// LegalMoves returns all legal moves in the position.
+func (b *Board) LegalMoves() []Move {
+	pseudo := b.pseudoMoves(make([]Move, 0, 48))
+	legal := pseudo[:0]
+	for _, m := range pseudo {
+		nb := b.Make(m)
+		if !nb.InCheck(b.Side) {
+			legal = append(legal, m)
+		}
+	}
+	return legal
+}
+
+// Perft counts leaf nodes of the legal move tree to the given depth —
+// the standard move-generator correctness and speed benchmark.
+func Perft(b *Board, depth int) uint64 {
+	if depth == 0 {
+		return 1
+	}
+	moves := b.LegalMoves()
+	if depth == 1 {
+		return uint64(len(moves))
+	}
+	var total uint64
+	for _, m := range moves {
+		nb := b.Make(m)
+		total += Perft(&nb, depth-1)
+	}
+	return total
+}

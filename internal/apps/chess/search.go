@@ -1,0 +1,124 @@
+package chess
+
+import (
+	"math/bits"
+
+	"montblanc/internal/platform"
+)
+
+// pieceValues in centipawns.
+var pieceValues = [pieceKinds]int{100, 320, 330, 500, 900, 0}
+
+// centerBonus rewards central squares, a minimal positional term that
+// keeps the search from shuffling rooks.
+func centerBonus(sq int) int {
+	r, f := sq/8, sq%8
+	dr, df := r, f
+	if dr > 3 {
+		dr = 7 - dr
+	}
+	if df > 3 {
+		df = 7 - df
+	}
+	return dr + df
+}
+
+// Evaluate scores the position in centipawns from the side to move's
+// perspective (material plus centralization).
+func Evaluate(b *Board) int {
+	score := 0
+	for c := White; c <= Black; c++ {
+		sign := 1
+		if c != b.Side {
+			sign = -1
+		}
+		for p := Pawn; p < pieceKinds; p++ {
+			for bb := b.Pieces[c][p]; bb != 0; bb &= bb - 1 {
+				sq := bits.TrailingZeros64(uint64(bb))
+				score += sign * (pieceValues[p] + centerBonus(sq))
+			}
+		}
+	}
+	return score
+}
+
+const (
+	mateScore = 100000
+	infScore  = 1 << 20
+)
+
+// SearchResult carries the outcome of a fixed-depth search.
+type SearchResult struct {
+	BestMove Move
+	Score    int    // centipawns, side-to-move perspective
+	Nodes    uint64 // nodes visited — the Table II "ops" unit
+}
+
+// Search runs a fixed-depth negamax with alpha-beta pruning (captures
+// ordered first) and returns the best move, its score and the node
+// count — the quantity StockFish's bench command reports per second.
+func Search(b *Board, depth int) SearchResult {
+	res := SearchResult{}
+	res.Score = negamax(b, depth, -infScore, infScore, &res.Nodes, &res.BestMove, true)
+	return res
+}
+
+func negamax(b *Board, depth, alpha, beta int, nodes *uint64, best *Move, root bool) int {
+	*nodes++
+	if depth == 0 {
+		return Evaluate(b)
+	}
+	moves := b.LegalMoves()
+	if len(moves) == 0 {
+		if b.InCheck(b.Side) {
+			return -mateScore - depth // prefer faster mates
+		}
+		return 0 // stalemate
+	}
+	// Order captures first: cheap MVV approximation.
+	ordered := make([]Move, 0, len(moves))
+	var quiets []Move
+	for _, m := range moves {
+		if b.Occ[b.Side.Other()]&bit(m.To()) != 0 || m.kind() == moveEnPassant {
+			ordered = append(ordered, m)
+		} else {
+			quiets = append(quiets, m)
+		}
+	}
+	ordered = append(ordered, quiets...)
+
+	for _, m := range ordered {
+		nb := b.Make(m)
+		score := -negamax(&nb, depth-1, -beta, -alpha, nodes, best, false)
+		if score > alpha {
+			alpha = score
+			if root {
+				*best = m
+			}
+			if alpha >= beta {
+				break
+			}
+		}
+	}
+	return alpha
+}
+
+// --- Table II model ----------------------------------------------------
+
+// instrPerNode is the calibrated machine-instruction cost of visiting
+// one search node. The x86-64 build works on native 64-bit bitboards;
+// the ARMv7 build emulates every 64-bit operation with instruction
+// pairs, roughly two and a third times the work. Calibration targets
+// Table II: 224113 nodes/s on the Snowball, 4521733 on the Xeon.
+func instrPerNode(isa platform.ISA) float64 {
+	if isa == platform.X8664 {
+		return 3647
+	}
+	return 8478
+}
+
+// NodesPerSecond returns the modeled whole-node search throughput —
+// Table II row 3.
+func NodesPerSecond(p *platform.Platform) float64 {
+	return p.IntThroughput() / instrPerNode(p.ISA)
+}

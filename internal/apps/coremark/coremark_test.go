@@ -1,0 +1,119 @@
+package coremark
+
+import (
+	"math"
+	"testing"
+
+	"montblanc/internal/platform"
+	"montblanc/internal/power"
+	"montblanc/internal/xrand"
+)
+
+func TestCrc16KnownValue(t *testing.T) {
+	// CRC-16/ARC of "123456789" with init 0 is 0xBB3D.
+	crc := uint16(0)
+	for _, b := range []byte("123456789") {
+		crc = Crc16(b, crc)
+	}
+	if crc != 0xBB3D {
+		t.Errorf("CRC = %#x, want 0xBB3D", crc)
+	}
+}
+
+func TestCrc16WordOrder(t *testing.T) {
+	// Folding a word must equal folding its bytes low-first.
+	a := Crc16Word(0x1234, 0xFFFF)
+	b := Crc16(0x12, Crc16(0x34, 0xFFFF))
+	if a != b {
+		t.Errorf("word fold %#x != byte fold %#x", a, b)
+	}
+}
+
+func TestScanToken(t *testing.T) {
+	cases := map[string]scanState{
+		"123":    stateInt,
+		"0":      stateInt,
+		"3.14":   stateFloat,
+		"0x1A2b": stateHex,
+		"12.3.4": stateInvalid,
+		"abc":    stateInvalid,
+		"":       stateInvalid,
+		"12Z3":   stateInvalid,
+		"0xZZ":   stateInvalid,
+		"999.":   stateFloat, // trailing dot: still float state
+	}
+	for tok, want := range cases {
+		if got := ScanToken(tok); got != want {
+			t.Errorf("ScanToken(%q) = %d, want %d", tok, got, want)
+		}
+	}
+}
+
+func TestRunReproducibleCRC(t *testing.T) {
+	a, err := Run(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CRC != b.CRC {
+		t.Error("same seed produced different checksums")
+	}
+	c, err := Run(5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CRC == a.CRC {
+		t.Error("different seed produced identical checksum (suspicious)")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestListBenchDeterministic(t *testing.T) {
+	if listBench(64, xrand.New(9)) != listBench(64, xrand.New(9)) {
+		t.Error("list workload not deterministic")
+	}
+}
+
+func TestMatrixBenchDeterministic(t *testing.T) {
+	if matrixBench(8, xrand.New(9)) != matrixBench(8, xrand.New(9)) {
+		t.Error("matrix workload not deterministic")
+	}
+}
+
+// Table II row 2: 5877 vs 41950 ops/s, ratio 7.1, energy ratio 0.2.
+func TestTable2CoreMarkRow(t *testing.T) {
+	snow := Score(platform.Snowball())
+	xeon := Score(platform.XeonX5550())
+	if math.Abs(snow-5877)/5877 > 0.05 {
+		t.Errorf("Snowball = %.0f, want ~5877", snow)
+	}
+	if math.Abs(xeon-41950)/41950 > 0.05 {
+		t.Errorf("Xeon = %.0f, want ~41950", xeon)
+	}
+	if ratio := xeon / snow; math.Abs(ratio-7.1)/7.1 > 0.10 {
+		t.Errorf("ratio = %.2f, want ~7.1", ratio)
+	}
+	eRatio := power.EnergyRatioByRate(
+		platform.Snowball().Power, snow, platform.XeonX5550().Power, xeon)
+	if math.Abs(eRatio-0.2) > 0.05 {
+		t.Errorf("energy ratio = %.2f, want ~0.2", eRatio)
+	}
+}
+
+// CoreMark/MHz sanity: the Cortex-A9 delivered ~2.9 CM/MHz, Nehalem ~4.
+func TestScorePerMHz(t *testing.T) {
+	if cm := ScorePerMHz(platform.Snowball()); cm < 2.5 || cm > 3.5 {
+		t.Errorf("A9 CoreMark/MHz = %.2f, want ~2.9", cm)
+	}
+	if cm := ScorePerMHz(platform.XeonX5550()); cm < 3.5 || cm > 4.5 {
+		t.Errorf("Nehalem CoreMark/MHz = %.2f, want ~3.9", cm)
+	}
+}

@@ -1,0 +1,195 @@
+package linpack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"montblanc/internal/cluster"
+	"montblanc/internal/platform"
+	"montblanc/internal/power"
+	"montblanc/internal/xrand"
+)
+
+func TestSolveRandomSystem(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 32, 100} {
+		a := RandomMatrix(n, uint64(n))
+		b := make([]float64, n)
+		rng := xrand.New(uint64(n) + 99)
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+		x, err := a.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := Residual(a, x, b); r > 1e-10 {
+			t.Errorf("n=%d: residual %g too large", n, r)
+		}
+	}
+}
+
+func TestFactorRequiresPivoting(t *testing.T) {
+	// Zero top-left pivot: only partial pivoting can factor this.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	x, err := a.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [[0,1],[1,1]] x = [2,3] is x = [1, 2].
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewMatrix(3) // all zeros
+	if _, err := a.Factor(); err == nil {
+		t.Error("singular matrix factored")
+	}
+}
+
+func TestSolveBadRHS(t *testing.T) {
+	a := RandomMatrix(4, 1)
+	if _, err := a.Solve(make([]float64, 3)); err == nil {
+		t.Error("mismatched rhs accepted")
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	a := RandomMatrix(8, 3)
+	orig := a.Clone()
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	if _, err := a.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != orig.Data[i] {
+			t.Fatal("Solve mutated the matrix")
+		}
+	}
+}
+
+func TestFlopsFormula(t *testing.T) {
+	if f := Flops(100); f != 2.0/3.0*1e6+2e4 {
+		t.Errorf("Flops(100) = %v", f)
+	}
+}
+
+// Property: A * Solve(A, b) == b for well-conditioned random systems.
+func TestSolveInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(24)
+		a := RandomMatrix(n, seed)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := a.Solve(b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table II row 1: 620 MFLOPS on the Snowball, 24000 on the Xeon,
+// ratio 38.7, energy ratio 1.0.
+func TestTable2LinpackRow(t *testing.T) {
+	snow := Mflops(platform.Snowball())
+	xeon := Mflops(platform.XeonX5550())
+	if math.Abs(snow-620)/620 > 0.10 {
+		t.Errorf("Snowball = %.0f MFLOPS, want ~620", snow)
+	}
+	if math.Abs(xeon-24000)/24000 > 0.10 {
+		t.Errorf("Xeon = %.0f MFLOPS, want ~24000", xeon)
+	}
+	ratio := xeon / snow
+	if math.Abs(ratio-38.7)/38.7 > 0.15 {
+		t.Errorf("ratio = %.1f, want ~38.7", ratio)
+	}
+	eRatio := power.EnergyRatioByRate(
+		platform.Snowball().Power, snow, platform.XeonX5550().Power, xeon)
+	if math.Abs(eRatio-1.0) > 0.15 {
+		t.Errorf("energy ratio = %.2f, want ~1.0", eRatio)
+	}
+}
+
+func TestSolveTimeScalesCubed(t *testing.T) {
+	p := platform.Snowball()
+	t1 := SolveTime(p, 1000)
+	t2 := SolveTime(p, 2000)
+	if ratio := t2 / t1; ratio < 7.5 || ratio > 8.5 {
+		t.Errorf("doubling N scaled time by %.2f, want ~8", ratio)
+	}
+}
+
+func TestDistributedSmallInstance(t *testing.T) {
+	c, err := cluster.Tibidabo(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScalingConfig{N: 2048, NB: 64}
+	points, err := StrongScaling(c, []int{2, 4, 8, 16}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency decreases with scale but stays reasonable.
+	for i := 1; i < len(points); i++ {
+		if points[i].Efficiency > points[i-1].Efficiency+0.01 {
+			t.Errorf("efficiency rose from %.3f to %.3f at %d cores",
+				points[i-1].Efficiency, points[i].Efficiency, points[i].Cores)
+		}
+	}
+	last := points[len(points)-1]
+	if last.Efficiency < 0.4 {
+		t.Errorf("16-core efficiency %.3f collapsed", last.Efficiency)
+	}
+	if last.Speedup <= points[0].Speedup {
+		t.Error("no speedup at all")
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	c, _ := cluster.Tibidabo(4)
+	if _, err := TimeDistributed(c, 2, ScalingConfig{N: 1000, NB: 64}); err == nil {
+		t.Error("N not multiple of NB accepted")
+	}
+	// Default instance (3.4GB) cannot fit two nodes.
+	if _, err := TimeDistributed(c, 4, ScalingConfig{}); err == nil {
+		t.Error("memory oversubscription accepted")
+	}
+}
+
+func TestDistributedDeterminism(t *testing.T) {
+	c, _ := cluster.Tibidabo(8)
+	cfg := ScalingConfig{N: 1024, NB: 64}
+	a, err := TimeDistributed(c, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TimeDistributed(c, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds {
+		t.Error("distributed LU not deterministic")
+	}
+}
+
+func TestLUEfficiencyOrdering(t *testing.T) {
+	if LUEfficiency(platform.Snowball()) >= LUEfficiency(platform.XeonX5550()) {
+		t.Error("in-order core should reach a smaller fraction of peak")
+	}
+}

@@ -1,0 +1,336 @@
+// Package autotune implements the systematic tuning methodology the
+// paper argues for (§V.B, §VI.B): "optimization variations ... are then
+// benchmarked and the most suitable for the platform selected", and
+// because ARM sweet spots are narrow and counter-intuitive, "such tuning
+// process will have to be fully automated".
+//
+// A Space declares the tunable parameters (e.g. unroll degree 1..12), an
+// Objective measures one configuration (e.g. simulated cycles per
+// point), and four search strategies of increasing sophistication pick
+// the best configuration: exhaustive, random, hill climbing, and a
+// genetic algorithm in the spirit of Tikir et al. (the paper's [14]).
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"montblanc/internal/xrand"
+)
+
+// Param is one tunable dimension with its candidate values.
+type Param struct {
+	Name   string
+	Values []int
+}
+
+// Space is the cartesian product of its parameters.
+type Space struct {
+	Params []Param
+}
+
+// Validate reports an invalid space.
+func (s Space) Validate() error {
+	if len(s.Params) == 0 {
+		return errors.New("autotune: empty space")
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Params {
+		if p.Name == "" {
+			return errors.New("autotune: unnamed parameter")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("autotune: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Values) == 0 {
+			return fmt.Errorf("autotune: parameter %q has no values", p.Name)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of configurations in the space.
+func (s Space) Size() int {
+	n := 1
+	for _, p := range s.Params {
+		n *= len(p.Values)
+	}
+	return n
+}
+
+// Config is a concrete assignment of parameter values by name.
+type Config map[string]int
+
+// at materializes the configuration for value indices idx.
+func (s Space) at(idx []int) Config {
+	cfg := make(Config, len(s.Params))
+	for i, p := range s.Params {
+		cfg[p.Name] = p.Values[idx[i]]
+	}
+	return cfg
+}
+
+// Objective scores a configuration; lower is better (e.g. cycles).
+type Objective func(Config) (float64, error)
+
+// Eval records one objective evaluation.
+type Eval struct {
+	Config Config
+	Score  float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best        Config
+	BestScore   float64
+	Evaluations int
+	Trace       []Eval // in evaluation order
+}
+
+// searchState accumulates evaluations and tracks the incumbent.
+type searchState struct {
+	obj  Objective
+	res  Result
+	memo map[string]float64
+}
+
+func newSearchState(obj Objective) *searchState {
+	return &searchState{obj: obj, res: Result{BestScore: math.Inf(1)}, memo: map[string]float64{}}
+}
+
+func key(cfg Config) string {
+	names := make([]string, 0, len(cfg))
+	for n := range cfg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	k := ""
+	for _, n := range names {
+		k += fmt.Sprintf("%s=%d;", n, cfg[n])
+	}
+	return k
+}
+
+// eval scores cfg, memoizing duplicates (duplicates still consume
+// budget slots in searches that count attempts, but are not re-run).
+func (st *searchState) eval(cfg Config) (float64, error) {
+	k := key(cfg)
+	if v, ok := st.memo[k]; ok {
+		return v, nil
+	}
+	v, err := st.obj(cfg)
+	if err != nil {
+		return 0, err
+	}
+	st.memo[k] = v
+	st.res.Evaluations++
+	st.res.Trace = append(st.res.Trace, Eval{Config: cfg, Score: v})
+	if v < st.res.BestScore {
+		st.res.BestScore = v
+		st.res.Best = cfg
+	}
+	return v, nil
+}
+
+// Exhaustive evaluates every configuration — the paper's baseline: "may
+// have to explore more systematically parameter space, rather than being
+// guided by developers' intuition".
+func Exhaustive(s Space, obj Objective) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	st := newSearchState(obj)
+	idx := make([]int, len(s.Params))
+	for {
+		if _, err := st.eval(s.at(idx)); err != nil {
+			return Result{}, err
+		}
+		// Odometer increment.
+		d := 0
+		for d < len(idx) {
+			idx[d]++
+			if idx[d] < len(s.Params[d].Values) {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(idx) {
+			return st.res, nil
+		}
+	}
+}
+
+// RandomSearch samples budget random configurations.
+func RandomSearch(s Space, obj Objective, budget int, seed uint64) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if budget <= 0 {
+		return Result{}, errors.New("autotune: non-positive budget")
+	}
+	rng := xrand.New(seed)
+	st := newSearchState(obj)
+	idx := make([]int, len(s.Params))
+	for i := 0; i < budget; i++ {
+		for d := range idx {
+			idx[d] = rng.Intn(len(s.Params[d].Values))
+		}
+		if _, err := st.eval(s.at(idx)); err != nil {
+			return Result{}, err
+		}
+	}
+	return st.res, nil
+}
+
+// HillClimb performs steepest-descent over single-parameter moves with
+// random restarts until the budget is exhausted.
+func HillClimb(s Space, obj Objective, budget int, seed uint64) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if budget <= 0 {
+		return Result{}, errors.New("autotune: non-positive budget")
+	}
+	rng := xrand.New(seed)
+	st := newSearchState(obj)
+	spent := 0
+	for spent < budget {
+		cur := make([]int, len(s.Params))
+		for d := range cur {
+			cur[d] = rng.Intn(len(s.Params[d].Values))
+		}
+		curScore, err := st.eval(s.at(cur))
+		if err != nil {
+			return Result{}, err
+		}
+		spent++
+		improved := true
+		for improved && spent < budget {
+			improved = false
+			bestD, bestV, bestScore := -1, 0, curScore
+			for d := 0; d < len(cur) && spent < budget; d++ {
+				for _, dv := range []int{-1, 1} {
+					v := cur[d] + dv
+					if v < 0 || v >= len(s.Params[d].Values) {
+						continue
+					}
+					cand := append([]int(nil), cur...)
+					cand[d] = v
+					score, err := st.eval(s.at(cand))
+					if err != nil {
+						return Result{}, err
+					}
+					spent++
+					if score < bestScore {
+						bestD, bestV, bestScore = d, v, score
+					}
+					if spent >= budget {
+						break
+					}
+				}
+			}
+			if bestD >= 0 {
+				cur[bestD] = bestV
+				curScore = bestScore
+				improved = true
+			}
+		}
+	}
+	return st.res, nil
+}
+
+// GeneticOptions configures the genetic search.
+type GeneticOptions struct {
+	Population  int // default 16
+	Generations int // default 12
+	MutationP   float64
+	Seed        uint64
+}
+
+func (o GeneticOptions) withDefaults() GeneticOptions {
+	if o.Population <= 1 {
+		o.Population = 16
+	}
+	if o.Generations <= 0 {
+		o.Generations = 12
+	}
+	if o.MutationP <= 0 || o.MutationP > 1 {
+		o.MutationP = 0.15
+	}
+	return o
+}
+
+// Genetic runs a generational GA with tournament selection, uniform
+// crossover and per-gene mutation — the approach of the paper's [14]
+// (Tikir et al., "A genetic algorithms approach to modeling the
+// performance of memory-bound computations").
+func Genetic(s Space, obj Objective, opts GeneticOptions) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	rng := xrand.New(opts.Seed)
+	st := newSearchState(obj)
+
+	type indiv struct {
+		genes []int
+		score float64
+	}
+	pop := make([]indiv, opts.Population)
+	for i := range pop {
+		g := make([]int, len(s.Params))
+		for d := range g {
+			g[d] = rng.Intn(len(s.Params[d].Values))
+		}
+		score, err := st.eval(s.at(g))
+		if err != nil {
+			return Result{}, err
+		}
+		pop[i] = indiv{genes: g, score: score}
+	}
+
+	tournament := func() indiv {
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if a.score <= b.score {
+			return a
+		}
+		return b
+	}
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		next := make([]indiv, 0, len(pop))
+		// Elitism: carry the incumbent.
+		bestIdx := 0
+		for i := range pop {
+			if pop[i].score < pop[bestIdx].score {
+				bestIdx = i
+			}
+		}
+		next = append(next, pop[bestIdx])
+		for len(next) < len(pop) {
+			p1, p2 := tournament(), tournament()
+			child := make([]int, len(s.Params))
+			for d := range child {
+				if rng.Float64() < 0.5 {
+					child[d] = p1.genes[d]
+				} else {
+					child[d] = p2.genes[d]
+				}
+				if rng.Float64() < opts.MutationP {
+					child[d] = rng.Intn(len(s.Params[d].Values))
+				}
+			}
+			score, err := st.eval(s.at(child))
+			if err != nil {
+				return Result{}, err
+			}
+			next = append(next, indiv{genes: child, score: score})
+		}
+		pop = next
+	}
+	return st.res, nil
+}

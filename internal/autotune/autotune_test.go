@@ -1,0 +1,260 @@
+package autotune
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"montblanc/internal/magicfilter"
+	"montblanc/internal/platform"
+)
+
+func unrollSpace() Space {
+	vals := make([]int, 12)
+	for i := range vals {
+		vals[i] = i + 1
+	}
+	return Space{Params: []Param{{Name: "unroll", Values: vals}}}
+}
+
+func twoDSpace() Space {
+	return Space{Params: []Param{
+		{Name: "x", Values: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{Name: "y", Values: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+	}}
+}
+
+// Convex bowl with minimum at (5, 2).
+func bowl(cfg Config) (float64, error) {
+	dx := float64(cfg["x"] - 5)
+	dy := float64(cfg["y"] - 2)
+	return dx*dx + dy*dy, nil
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := (Space{}).Validate(); err == nil {
+		t.Error("empty space accepted")
+	}
+	if err := (Space{Params: []Param{{Name: "", Values: []int{1}}}}).Validate(); err == nil {
+		t.Error("unnamed parameter accepted")
+	}
+	if err := (Space{Params: []Param{{Name: "a", Values: nil}}}).Validate(); err == nil {
+		t.Error("valueless parameter accepted")
+	}
+	dup := Space{Params: []Param{
+		{Name: "a", Values: []int{1}},
+		{Name: "a", Values: []int{2}},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate parameter accepted")
+	}
+	if err := twoDSpace().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	if s := twoDSpace().Size(); s != 64 {
+		t.Errorf("Size = %d, want 64", s)
+	}
+	if s := unrollSpace().Size(); s != 12 {
+		t.Errorf("Size = %d, want 12", s)
+	}
+}
+
+func TestExhaustiveFindsGlobalMinimum(t *testing.T) {
+	res, err := Exhaustive(twoDSpace(), bowl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["x"] != 5 || res.Best["y"] != 2 {
+		t.Errorf("best = %v", res.Best)
+	}
+	if res.BestScore != 0 {
+		t.Errorf("best score = %v", res.BestScore)
+	}
+	if res.Evaluations != 64 {
+		t.Errorf("evaluations = %d, want 64", res.Evaluations)
+	}
+}
+
+func TestExhaustiveCoversEveryConfigOnce(t *testing.T) {
+	seen := map[int]int{}
+	obj := func(cfg Config) (float64, error) {
+		seen[cfg["x"]*8+cfg["y"]]++
+		return 0, nil
+	}
+	if _, err := Exhaustive(twoDSpace(), obj); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 64 {
+		t.Fatalf("covered %d configs, want 64", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("config %d evaluated %d times", k, n)
+		}
+	}
+}
+
+func TestExhaustivePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Exhaustive(unrollSpace(), func(Config) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRandomSearchRespectsBudgetAndSeed(t *testing.T) {
+	res1, err := RandomSearch(twoDSpace(), bowl, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Evaluations > 20 {
+		t.Errorf("evaluations = %d > budget", res1.Evaluations)
+	}
+	res2, err := RandomSearch(twoDSpace(), bowl, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.BestScore != res2.BestScore || key(res1.Best) != key(res2.Best) {
+		t.Error("same seed produced different results")
+	}
+	if _, err := RandomSearch(twoDSpace(), bowl, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestHillClimbFindsBowlMinimum(t *testing.T) {
+	res, err := HillClimb(twoDSpace(), bowl, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore != 0 {
+		t.Errorf("hill climb missed the convex minimum: %v (score %v)",
+			res.Best, res.BestScore)
+	}
+}
+
+func TestHillClimbBudget(t *testing.T) {
+	evals := 0
+	obj := func(cfg Config) (float64, error) {
+		evals++
+		return bowl(cfg)
+	}
+	if _, err := HillClimb(twoDSpace(), obj, 30, 3); err != nil {
+		t.Fatal(err)
+	}
+	if evals > 30 {
+		t.Errorf("objective called %d times, budget 30", evals)
+	}
+	if _, err := HillClimb(twoDSpace(), bowl, -1, 3); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestGeneticConvergesOnBowl(t *testing.T) {
+	res, err := Genetic(twoDSpace(), bowl, GeneticOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore > 1 {
+		t.Errorf("GA best score = %v, want <= 1", res.BestScore)
+	}
+}
+
+func TestGeneticDeterministicBySeed(t *testing.T) {
+	a, err := Genetic(twoDSpace(), bowl, GeneticOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(twoDSpace(), bowl, GeneticOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestScore != b.BestScore || key(a.Best) != key(b.Best) {
+		t.Error("same seed produced different GA results")
+	}
+}
+
+func TestGeneticDefaultsApplied(t *testing.T) {
+	opts := GeneticOptions{}.withDefaults()
+	if opts.Population != 16 || opts.Generations != 12 || opts.MutationP != 0.15 {
+		t.Errorf("defaults = %+v", opts)
+	}
+}
+
+func TestTraceRecordsBestEver(t *testing.T) {
+	res, err := RandomSearch(twoDSpace(), bowl, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := math.Inf(1)
+	for _, e := range res.Trace {
+		if e.Score < min {
+			min = e.Score
+		}
+	}
+	if res.BestScore != min {
+		t.Errorf("BestScore %v != min of trace %v", res.BestScore, min)
+	}
+}
+
+// End-to-end §V.B scenario: tune the magicfilter unroll degree on both
+// platforms. All strategies must find the platform-specific optimum —
+// and the optima must differ between architectures, the paper's reason
+// auto-tuning is a must.
+func TestMagicfilterTuning(t *testing.T) {
+	const n = 2048
+	objFor := func(p *platform.Platform) Objective {
+		return func(cfg Config) (float64, error) {
+			r, err := magicfilter.MeasureVariant(p, n, cfg["unroll"])
+			if err != nil {
+				return 0, err
+			}
+			return r.CyclesPerPoint, nil
+		}
+	}
+	space := unrollSpace()
+
+	nehEx, err := Exhaustive(space, objFor(platform.XeonX5550()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tegEx, err := Exhaustive(space, objFor(platform.Tegra2Node()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nehEx.Best["unroll"] == tegEx.Best["unroll"] {
+		t.Errorf("both platforms tuned to unroll=%d; paper expects different optima",
+			nehEx.Best["unroll"])
+	}
+	if u := tegEx.Best["unroll"]; u < 3 || u > 7 {
+		t.Errorf("Tegra2 optimum unroll = %d, want in the narrow [3,7] band", u)
+	}
+	if u := nehEx.Best["unroll"]; u < 8 {
+		t.Errorf("Nehalem optimum unroll = %d, want deep unrolling (>=8)", u)
+	}
+
+	// Hill climbing on the convex cycle curve matches exhaustive search
+	// at a fraction of the cost.
+	tegHC, err := HillClimb(space, objFor(platform.Tegra2Node()), 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tegHC.BestScore > tegEx.BestScore*1.05 {
+		t.Errorf("hill climb score %.1f far from optimum %.1f",
+			tegHC.BestScore, tegEx.BestScore)
+	}
+
+	// GA converges too (the [14] approach).
+	tegGA, err := Genetic(space, objFor(platform.Tegra2Node()), GeneticOptions{
+		Population: 8, Generations: 6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tegGA.BestScore > tegEx.BestScore*1.1 {
+		t.Errorf("GA score %.1f far from optimum %.1f", tegGA.BestScore, tegEx.BestScore)
+	}
+}

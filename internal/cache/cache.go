@@ -1,0 +1,264 @@
+// Package cache implements a set-associative, multi-level, write-back
+// cache simulator. Caches are physically indexed and physically tagged,
+// which is what makes the paper's §V.A.1 observation reproducible: with
+// a 32 KB 4-way L1 (two page colours, as on the Cortex-A9), an array
+// whose physical pages are unluckily coloured conflicts with itself even
+// though it fits the cache.
+package cache
+
+import (
+	"fmt"
+
+	"montblanc/internal/mem"
+	"montblanc/internal/units"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name          string // e.g. "L1d"
+	Level         int    // 1-based
+	Size          int    // bytes, power of two
+	LineSize      int    // bytes, power of two
+	Associativity int    // ways; Size/LineSize must be divisible by it
+	HitLatency    int    // cycles for a hit at this level
+	Shared        bool   // informational: shared between cores
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 0 || c.Size&(c.Size-1) != 0:
+		return fmt.Errorf("cache %s: size %d not a positive power of two", c.Name, c.Size)
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a positive power of two", c.Name, c.LineSize)
+	case c.Associativity <= 0:
+		return fmt.Errorf("cache %s: associativity %d", c.Name, c.Associativity)
+	case (c.Size/c.LineSize)%c.Associativity != 0:
+		return fmt.Errorf("cache %s: %d lines not divisible by %d ways",
+			c.Name, c.Size/c.LineSize, c.Associativity)
+	case c.HitLatency < 0:
+		return fmt.Errorf("cache %s: negative hit latency", c.Name)
+	}
+	return nil
+}
+
+// Stats counts events at one level.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRatio returns misses/accesses, or 0 when idle.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// level is the next-lower member of the hierarchy.
+type level interface {
+	access(lineAddr uint64, write bool) int
+}
+
+// Memory is the DRAM backstop of a hierarchy.
+type Memory struct {
+	Latency int // cycles per line fill
+	stats   Stats
+}
+
+func (m *Memory) access(_ uint64, _ bool) int {
+	m.stats.Accesses++
+	m.stats.Misses++ // every DRAM access is a "miss" at this level
+	return m.Latency
+}
+
+// Stats returns the DRAM access counts.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Cache is one simulated level.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	setBits   uint
+	tags      []uint64
+	valid     []bool
+	dirty     []bool
+	used      []uint64
+	clock     uint64
+	stats     Stats
+	next      level
+}
+
+// New creates a cache level above next (another *Cache or *Memory).
+func New(cfg Config, next level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: nil next level", cfg.Name)
+	}
+	nLines := cfg.Size / cfg.LineSize
+	nSets := nLines / cfg.Associativity
+	c := &Cache{
+		cfg:   cfg,
+		tags:  make([]uint64, nLines),
+		valid: make([]bool, nLines),
+		dirty: make([]bool, nLines),
+		used:  make([]uint64, nLines),
+		next:  next,
+	}
+	for 1<<c.lineShift < cfg.LineSize {
+		c.lineShift++
+	}
+	for 1<<c.setBits < nSets {
+		c.setBits++
+	}
+	c.setMask = uint64(nSets - 1)
+	return c, nil
+}
+
+// Config returns the level configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the level's event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// access looks up the line containing pa, filling from below on a miss.
+// It returns the total latency in cycles including lower levels.
+func (c *Cache) access(pa uint64, write bool) int {
+	c.stats.Accesses++
+	c.clock++
+	set := (pa >> c.lineShift) & c.setMask
+	tag := pa >> (c.lineShift + c.setBits)
+	base := int(set) * c.cfg.Associativity
+	victim, victimUsed := base, ^uint64(0)
+	for w := 0; w < c.cfg.Associativity; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stats.Hits++
+			c.used[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return c.cfg.HitLatency
+		}
+		if !c.valid[i] {
+			victim, victimUsed = i, 0
+		} else if c.used[i] < victimUsed {
+			victim, victimUsed = i, c.used[i]
+		}
+	}
+	c.stats.Misses++
+	cost := c.cfg.HitLatency + c.next.access(pa, false)
+	if c.valid[victim] && c.dirty[victim] {
+		// Write-back of the evicted dirty line. The latency is absorbed
+		// by write buffers; we only count the event.
+		c.stats.Writebacks++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.used[victim] = c.clock
+	return cost
+}
+
+// Flush invalidates all lines, counting dirty evictions as writebacks.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			c.stats.Writebacks++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// String describes the level.
+func (c *Cache) String() string {
+	return fmt.Sprintf("%s(%s %d-way %dB lines, %d-cycle hit)",
+		c.cfg.Name, units.Bytes(int64(c.cfg.Size)), c.cfg.Associativity,
+		c.cfg.LineSize, c.cfg.HitLatency)
+}
+
+// Hierarchy bundles a TLB, a stack of cache levels (L1 first) and DRAM.
+// All addresses entering Access are virtual; translation happens through
+// the TLB/mapper before indexing, which is what exposes page-colouring.
+type Hierarchy struct {
+	tlb    *mem.TLB
+	levels []*Cache
+	mem    *Memory
+}
+
+// NewHierarchy builds a hierarchy from level configs (ordered L1 first),
+// DRAM latency, and an optional TLB (nil means identity translation).
+func NewHierarchy(cfgs []Config, memLatency int, tlb *mem.TLB) (*Hierarchy, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{mem: &Memory{Latency: memLatency}, tlb: tlb}
+	var below level = h.mem
+	levels := make([]*Cache, len(cfgs))
+	for i := len(cfgs) - 1; i >= 0; i-- {
+		c, err := New(cfgs[i], below)
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = c
+		below = c
+	}
+	h.levels = levels
+	return h, nil
+}
+
+// Access performs a load (write=false) or store (write=true) at virtual
+// address va and returns the total latency in cycles, including any TLB
+// miss penalty.
+func (h *Hierarchy) Access(va uint64, write bool) int {
+	pa := va
+	cost := 0
+	if h.tlb != nil {
+		var tcyc int
+		pa, tcyc = h.tlb.Translate(va)
+		cost += tcyc
+	}
+	return cost + h.levels[0].access(pa, write)
+}
+
+// Level returns cache level i (0 = L1). It panics on out-of-range i.
+func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
+
+// Depth returns the number of cache levels.
+func (h *Hierarchy) Depth() int { return len(h.levels) }
+
+// Memory returns the DRAM backstop.
+func (h *Hierarchy) Memory() *Memory { return h.mem }
+
+// L1HitLatency returns the hit latency of the first level, the baseline
+// cost subtracted when converting access latency into stall cycles.
+func (h *Hierarchy) L1HitLatency() int { return h.levels[0].cfg.HitLatency }
+
+// Flush invalidates every level and flushes the TLB.
+func (h *Hierarchy) Flush() {
+	for _, l := range h.levels {
+		l.Flush()
+	}
+	if h.tlb != nil {
+		h.tlb.Flush()
+	}
+}
+
+// ResetStats zeroes all counters (cache levels and DRAM) while keeping
+// cache contents warm.
+func (h *Hierarchy) ResetStats() {
+	for _, l := range h.levels {
+		l.ResetStats()
+	}
+	h.mem.stats = Stats{}
+}

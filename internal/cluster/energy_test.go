@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+
+	"montblanc/internal/simmpi"
+)
+
+func TestNodesFor(t *testing.T) {
+	c, _ := Tibidabo(8)
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 8: 4, 16: 8}
+	for ranks, want := range cases {
+		if got := c.NodesFor(ranks); got != want {
+			t.Errorf("NodesFor(%d) = %d, want %d", ranks, got, want)
+		}
+	}
+}
+
+func TestJobEnergy(t *testing.T) {
+	c, _ := Tibidabo(4)
+	rep := &simmpi.Report{Seconds: 10}
+	// 4 ranks -> 2 nodes x 8.5W x 10s = 170 J.
+	if e := c.JobEnergy(rep, 4); e != 170 {
+		t.Errorf("JobEnergy = %v, want 170", e)
+	}
+}
+
+// The §IV caution, quantified: switch congestion stretches an
+// alltoallv-bound job's makespan, and with it the cluster's
+// energy-to-solution — the network inefficiency eats the node
+// efficiency.
+func TestCongestionEnergyOverhead(t *testing.T) {
+	body := func(p *simmpi.Proc) error {
+		counts := make([]int, p.Size())
+		for i := range counts {
+			counts[i] = 40 << 10
+		}
+		for it := 0; it < 3; it++ {
+			p.ComputeFlops(1e7, "work")
+			if err := p.Alltoallv(counts, simmpi.AlltoallvLinear); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	job := JobConfig{Ranks: 36, CoreFlopsPerSec: 1e9}
+
+	congested, err := Tibidabo(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repC, err := congested.Run(job, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Tibidabo(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.Net.InfiniteBuffers()
+	repI, err := clean.Run(job, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eCongested := congested.JobEnergy(repC, 36)
+	eClean := clean.JobEnergy(repI, 36)
+	if overhead := eCongested / eClean; overhead < 1.3 {
+		t.Errorf("congestion energy overhead = %.2fx, want visible (>1.3x)", overhead)
+	}
+}

@@ -1,0 +1,65 @@
+// Package experiments contains one driver per table and figure of the
+// paper. Each driver runs the underlying models/simulations and renders
+// the same rows or series the paper reports, so `montblanc <id>`
+// regenerates any result. EXPERIMENTS.md records paper-vs-measured for
+// every driver.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks instance sizes and repetition counts so the full
+	// suite runs in seconds (used by tests and `montblanc -quick all`).
+	Quick bool
+	// Seed overrides the default deterministic seed (0 keeps defaults).
+	Seed uint64
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Options) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(w, o); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

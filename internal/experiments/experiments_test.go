@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4",
+		"fig5", "fig6", "fig7", "locality", "pagealloc",
+		"perspectives", "table1", "table2",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Find("fig4"); !ok {
+		t.Error("Find(fig4) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+// Every experiment runs to completion in quick mode and produces output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Options{Quick: true}); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+func TestFig1Findings(t *testing.T) {
+	res, err := Fig1Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExaflopYear < 2016.5 || res.ExaflopYear > 2020.5 {
+		t.Errorf("exaflop year = %.1f, want ~2018", res.ExaflopYear)
+	}
+	if res.Budget.ImprovementGap < 20 || res.Budget.ImprovementGap > 30 {
+		t.Errorf("efficiency gap = %.1f, want ~25", res.Budget.ImprovementGap)
+	}
+}
+
+func TestFig3QuickShapes(t *testing.T) {
+	o := Options{Quick: true}
+	a, err := Fig3aData(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := a[len(a)-1]; last.Efficiency < 0.5 {
+		t.Errorf("quick LINPACK efficiency %.2f too low", last.Efficiency)
+	}
+	b, err := Fig3bData(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := b[len(b)-1]; last.Efficiency < 0.85 {
+		t.Errorf("quick SPECFEM efficiency %.2f, want ~0.9+", last.Efficiency)
+	}
+	c, err := Fig3cData(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := c[len(c)-1]; last.Efficiency > 0.6 {
+		t.Errorf("quick BigDFT efficiency %.2f did not collapse", last.Efficiency)
+	}
+	// The ordering claim of Figure 3: at its largest scale BigDFT is far
+	// less efficient than SPECFEM3D at *its* largest (which is bigger).
+	if c[len(c)-1].Efficiency >= b[len(b)-1].Efficiency {
+		t.Error("BigDFT should scale worse than SPECFEM3D")
+	}
+}
+
+func TestFig4Findings(t *testing.T) {
+	_, cr, err := Fig4Data(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Instances == 0 || cr.Delayed == 0 {
+		t.Errorf("no delayed collectives found: %+v", cr)
+	}
+	if cr.Delayed < cr.Instances/2 {
+		t.Errorf("delayed = %d of %d, want most", cr.Delayed, cr.Instances)
+	}
+}
+
+// The full Figure 5 run reproduces the paper's two-mode picture with the
+// default seed.
+func TestFig5Findings(t *testing.T) {
+	res, err := Fig5Data(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Modes.Bimodal {
+		t.Fatal("default Figure 5 run not bimodal")
+	}
+	if res.Modes.Ratio < 4 || res.Modes.Ratio > 6 {
+		t.Errorf("mode ratio = %.2f, want ~5", res.Modes.Ratio)
+	}
+	if res.Streaks.Count != 1 {
+		t.Errorf("degraded episodes = %d, want 1 (all consecutive)", res.Streaks.Count)
+	}
+	if res.Streaks.Longest != res.Streaks.Total {
+		t.Error("degraded measurements not fully consecutive")
+	}
+	if len(res.Measurements) != 42*50 {
+		t.Errorf("measurements = %d, want 2100", len(res.Measurements))
+	}
+}
+
+func TestPageAllocFindings(t *testing.T) {
+	res, err := PageAllocData(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RandomCV <= res.ContiguousCV {
+		t.Errorf("random CV %.4f not above contiguous CV %.4f",
+			res.RandomCV, res.ContiguousCV)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig1", "table2", "fig7"} {
+		if !strings.Contains(out, "==== "+id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}

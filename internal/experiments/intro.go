@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"montblanc/internal/core"
+	"montblanc/internal/platform"
+	"montblanc/internal/power"
+	"montblanc/internal/report"
+	"montblanc/internal/top500"
+	"montblanc/internal/units"
+)
+
+func init() {
+	register(Experiment{ID: "fig1", Title: "TOP500 exponential growth and the exaflop projection", Run: runFig1})
+	register(Experiment{ID: "table1", Title: "Mont-Blanc selected HPC applications", Run: runTable1})
+	register(Experiment{ID: "fig2", Title: "Memory topologies of the Xeon X5550 and the A9500", Run: runFig2})
+	register(Experiment{ID: "table2", Title: "Snowball vs Xeon X5550 single-node comparison", Run: runTable2})
+}
+
+// Fig1Result bundles the Figure 1 analysis for tests and rendering.
+type Fig1Result struct {
+	Top         top500.Trend
+	Sum         top500.Trend
+	ExaflopYear float64
+	Budget      power.ExaflopBudget
+	GrowthPerYr float64
+}
+
+// Fig1Data computes the Figure 1 trend analysis.
+func Fig1Data() (Fig1Result, error) {
+	topTrend, err := top500.FitTop()
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	sumTrend, err := top500.FitSum()
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	year, err := topTrend.YearReaching(top500.ExaflopGF)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{
+		Top:         topTrend,
+		Sum:         sumTrend,
+		ExaflopYear: year,
+		// 2012 state of the art: ~2 GFLOPS/W (the paper's intro).
+		Budget:      power.NewExaflopBudget(1e18, 20e6, 2.0),
+		GrowthPerYr: topTrend.GrowthPerYear(),
+	}, nil
+}
+
+func runFig1(w io.Writer, _ Options) error {
+	res, err := Fig1Data()
+	if err != nil {
+		return err
+	}
+	entries := top500.Entries()
+	chart := &report.Chart{
+		Title:  "Figure 1: TOP500 performance (log10 GFLOPS) vs year",
+		XLabel: "year", YLabel: "log10(GFLOPS)", Width: 64, Height: 16,
+	}
+	var years, topLog, sumLog, lowLog []float64
+	for _, e := range entries {
+		years = append(years, float64(e.Year))
+		topLog = append(topLog, log10(e.TopGF))
+		sumLog = append(sumLog, log10(e.SumGF))
+		lowLog = append(lowLog, log10(e.LowGF))
+	}
+	chart.Add("sum", 'S', years, sumLog)
+	chart.Add("#1", 'o', years, topLog)
+	chart.Add("#500", '.', years, lowLog)
+	fmt.Fprint(w, chart.String())
+
+	tab := &report.Table{Headers: []string{"quantity", "value"}}
+	tab.AddRow("#1 growth factor per year", res.GrowthPerYr)
+	tab.AddRow("fit R^2", res.Top.Fit.R2)
+	tab.AddRow("projected #1 exaflop year", res.ExaflopYear)
+	tab.AddRow("required GFLOPS/W at 20MW", res.Budget.RequiredGFperW)
+	tab.AddRow("2012 state of the art GFLOPS/W", res.Budget.CurrentGFperW)
+	tab.AddRow("efficiency gap (the paper's ~25x)", res.Budget.ImprovementGap)
+	fmt.Fprint(w, tab.String())
+	return nil
+}
+
+func log10(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log10(v)
+}
+
+func runTable1(w io.Writer, _ Options) error {
+	tab := &report.Table{
+		Title:   "Table I: Mont-Blanc selected HPC applications",
+		Headers: []string{"Code", "Scientific Domain", "Institution"},
+	}
+	for _, a := range core.MontBlancApplications() {
+		tab.AddRow(a.Code, a.Domain, a.Institution)
+	}
+	fmt.Fprint(w, tab.String())
+	return nil
+}
+
+func runFig2(w io.Writer, _ Options) error {
+	for _, p := range []*platform.Platform{platform.XeonX5550(), platform.Snowball()} {
+		fmt.Fprintf(w, "%s topology (%s):\n", p.Name, p.String())
+		fmt.Fprint(w, p.Topology().Render())
+		fmt.Fprintf(w, "L1 page colours: %d\n\n", p.PageColors())
+	}
+	return nil
+}
+
+func runTable2(w io.Writer, _ Options) error {
+	rows, err := core.TableII()
+	if err != nil {
+		return err
+	}
+	tab := &report.Table{
+		Title:   "Table II: Comparison between an Intel Xeon 5550 and ST-Ericsson A9500",
+		Headers: []string{"Benchmark", "Snowball", "Xeon", "Ratio", "Energy Ratio"},
+	}
+	for _, r := range rows {
+		name := r.Workload
+		switch r.Metric {
+		case core.Rate:
+			name += " (" + r.Unit + ")"
+		case core.Time:
+			name += " (" + r.Unit + ")"
+		}
+		tab.AddRow(name, r.Candidate, r.Reference, r.Ratio, r.EnergyRatio)
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintf(w, "power model: Snowball %.1fW (full USB budget) vs Xeon %.0fW (TDP)\n",
+		platform.Snowball().Power.Watts, platform.XeonX5550().Power.Watts)
+	fmt.Fprintf(w, "Snowball RAM %s, Xeon RAM %s\n",
+		units.Bytes(platform.Snowball().RAMBytes), units.Bytes(platform.XeonX5550().RAMBytes))
+	return nil
+}

@@ -1,0 +1,158 @@
+package genkernel
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"montblanc/internal/magicfilter"
+	"montblanc/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if _, err := Generate(Options{Unroll: 0}); err == nil {
+		t.Error("unroll 0 accepted")
+	}
+	if _, err := Generate(Options{Unroll: 65}); err == nil {
+		t.Error("unroll 65 accepted")
+	}
+}
+
+func TestGeneratedSourceParses(t *testing.T) {
+	for _, u := range []int{1, 4, 12} {
+		src, err := Generate(Options{Unroll: u})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+			t.Errorf("unroll=%d: generated source does not parse: %v\n%s", u, err, src)
+		}
+		if !strings.Contains(src, fmt.Sprintf("func MagicfilterU%d(", u)) {
+			t.Errorf("unroll=%d: function name missing", u)
+		}
+		// One accumulator per unrolled output.
+		if got := strings.Count(src, "var acc"); got != u+1 { // +1 remainder loop
+			t.Errorf("unroll=%d: %d accumulators, want %d", u, got, u+1)
+		}
+	}
+}
+
+func TestSuiteParses(t *testing.T) {
+	src, err := GenerateSuite("kernels", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "suite.go", src, 0); err != nil {
+		t.Fatalf("suite does not parse: %v", err)
+	}
+	for u := 1; u <= 12; u++ {
+		if !strings.Contains(src, fmt.Sprintf("func MagicfilterU%d(", u)) {
+			t.Errorf("suite missing variant %d", u)
+		}
+	}
+	if _, err := GenerateSuite("k", 0); err == nil {
+		t.Error("maxUnroll 0 accepted")
+	}
+}
+
+// The paper's end-to-end loop: generate the variants, build them with
+// the real toolchain, and verify every variant computes exactly what the
+// reference kernel computes.
+func TestGeneratedVariantsMatchReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping toolchain invocation in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	dir := t.TempDir()
+
+	suite, err := GenerateSuite("main", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "kernels.go"), []byte(suite), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Harness: applies every variant to a fixed pseudo-random input and
+	// prints one checksum per variant.
+	rng := xrand.New(99)
+	n := 97
+	input := make([]float64, n)
+	for i := range input {
+		input[i] = rng.Float64()*2 - 1
+	}
+	var initLit strings.Builder
+	for i, v := range input {
+		if i > 0 {
+			initLit.WriteString(", ")
+		}
+		fmt.Fprintf(&initLit, "%.17g", v)
+	}
+	harness := fmt.Sprintf(`package main
+
+import "fmt"
+
+var input = []float64{%s}
+
+func main() {
+	fns := []func(dst, src []float64){
+		MagicfilterU1, MagicfilterU2, MagicfilterU3, MagicfilterU4,
+		MagicfilterU5, MagicfilterU6, MagicfilterU7, MagicfilterU8,
+		MagicfilterU9, MagicfilterU10, MagicfilterU11, MagicfilterU12,
+	}
+	dst := make([]float64, len(input))
+	for _, fn := range fns {
+		fn(dst, input)
+		sum := 0.0
+		for i, v := range dst {
+			sum += v * float64(i+1)
+		}
+		fmt.Printf("%%.12e\n", sum)
+	}
+}
+`, initLit.String())
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(harness), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module gentest\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, out)
+	}
+	lines := strings.Fields(strings.TrimSpace(string(out)))
+	if len(lines) != 12 {
+		t.Fatalf("variant outputs = %d, want 12:\n%s", len(lines), out)
+	}
+
+	// Reference checksum from the in-tree kernel.
+	ref := make([]float64, n)
+	if err := magicfilter.Apply1D(ref, input); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, v := range ref {
+		sum += v * float64(i+1)
+	}
+	want := fmt.Sprintf("%.12e", sum)
+	for u, got := range lines {
+		if got != want {
+			t.Errorf("unroll=%d checksum %s != reference %s", u+1, got, want)
+		}
+	}
+}

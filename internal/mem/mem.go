@@ -1,0 +1,230 @@
+// Package mem models the virtual-memory layer that the paper identifies
+// as a major source of irreproducibility on ARM platforms (§V.A.1):
+// depending on how the OS allocates physical pages, an array that fits
+// the 32 KB L1 cache may or may not map onto conflicting cache sets.
+//
+// The package provides virtual→physical address translation with
+// pluggable page-allocation policies and a small TLB model.
+package mem
+
+import (
+	"fmt"
+
+	"montblanc/internal/xrand"
+)
+
+// PageSize is the page granularity used by all allocators (4 KiB, as on
+// both the Snowball's Linaro kernel and the Xeon's Debian kernel).
+const PageSize = 4096
+
+// Mapper translates virtual addresses to physical addresses.
+type Mapper interface {
+	// Translate returns the physical address backing va, establishing a
+	// mapping on first touch.
+	Translate(va uint64) uint64
+	// Reset drops all mappings, simulating a fresh process.
+	Reset()
+}
+
+// ContiguousMapper maps virtual pages to consecutive physical pages
+// starting at a fixed base: the "lucky" allocation in which page colours
+// follow virtual layout and an L1-sized array never conflicts with
+// itself. This is the behaviour the paper implicitly assumes on x86
+// for warmed-up runs.
+type ContiguousMapper struct {
+	Base uint64 // physical base address (page aligned)
+}
+
+// NewContiguousMapper returns a mapper with physical base base, rounded
+// down to a page boundary.
+func NewContiguousMapper(base uint64) *ContiguousMapper {
+	return &ContiguousMapper{Base: base &^ (PageSize - 1)}
+}
+
+// Translate implements Mapper.
+func (m *ContiguousMapper) Translate(va uint64) uint64 { return m.Base + va }
+
+// Reset implements Mapper. Contiguous mappings are stateless.
+func (m *ContiguousMapper) Reset() {}
+
+// RandomMapper assigns each virtual page a pseudo-random physical page
+// on first touch: the "unlucky" ARM behaviour in which nonconsecutive
+// physical pages around the L1 size cause conflict misses. Mappings are
+// sticky until Reset, reproducing the paper's observation that within
+// one run the OS kept reusing the same pages (malloc/free returning the
+// same memory), so intra-run noise was low while run-to-run behaviour
+// varied wildly.
+type RandomMapper struct {
+	rng      *xrand.Rand
+	seed     uint64
+	physPool uint64 // number of physical pages to draw from
+	pages    map[uint64]uint64
+	nextDraw int
+}
+
+// NewRandomMapper returns a mapper drawing physical pages uniformly from
+// a pool of poolPages pages, seeded with seed. A fresh seed models a
+// fresh boot/run; Reset re-rolls the mapping with a derived seed,
+// modelling a new process in the same booted system.
+func NewRandomMapper(seed uint64, poolPages int) *RandomMapper {
+	if poolPages <= 0 {
+		poolPages = 1 << 16 // 256 MiB pool by default
+	}
+	return &RandomMapper{
+		rng:      xrand.New(seed),
+		seed:     seed,
+		physPool: uint64(poolPages),
+		pages:    make(map[uint64]uint64),
+	}
+}
+
+// Translate implements Mapper.
+func (m *RandomMapper) Translate(va uint64) uint64 {
+	vpn := va / PageSize
+	ppn, ok := m.pages[vpn]
+	if !ok {
+		ppn = m.rng.Uint64() % m.physPool
+		m.pages[vpn] = ppn
+	}
+	return ppn*PageSize + va%PageSize
+}
+
+// Reset implements Mapper: drops mappings and derives a new random
+// stream, as a new process image would.
+func (m *RandomMapper) Reset() {
+	m.nextDraw++
+	m.rng = xrand.New(m.seed + uint64(m.nextDraw)*0x9e3779b97f4a7c15)
+	m.pages = make(map[uint64]uint64)
+}
+
+// PageColors returns the number of distinct page colours for a
+// physically-indexed cache of the given size and associativity: the
+// number of pages that make up one way. If <= 1 every allocation is
+// equivalent and physical placement cannot cause extra conflicts.
+func PageColors(cacheSize, associativity int) int {
+	if associativity <= 0 {
+		return 0
+	}
+	waySize := cacheSize / associativity
+	colors := waySize / PageSize
+	if colors < 1 {
+		return 1
+	}
+	return colors
+}
+
+// ColorOf returns the page colour of physical address pa for a cache
+// with the given number of colours.
+func ColorOf(pa uint64, colors int) int {
+	if colors <= 1 {
+		return 0
+	}
+	return int((pa / PageSize) % uint64(colors))
+}
+
+// ColorSpread reports, for the first nPages pages of a virtual buffer,
+// how many pages land on each colour. A perfectly balanced spread means
+// no allocation-induced conflicts; heavy skew predicts conflict misses.
+func ColorSpread(m Mapper, nPages, colors int) []int {
+	counts := make([]int, colors)
+	for p := 0; p < nPages; p++ {
+		pa := m.Translate(uint64(p) * PageSize)
+		counts[ColorOf(pa, colors)]++
+	}
+	return counts
+}
+
+// MaxColorLoad returns the maximum per-colour page count in spread.
+func MaxColorLoad(spread []int) int {
+	m := 0
+	for _, c := range spread {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// TLB models a small fully-associative translation lookaside buffer with
+// LRU replacement. It charges MissPenalty cycles per miss and relies on
+// a Mapper for the actual translation.
+type TLB struct {
+	Entries     int
+	MissPenalty int // cycles
+
+	mapper  Mapper
+	slots   []tlbSlot
+	clock   uint64
+	hits    uint64
+	misses  uint64
+	enabled bool
+}
+
+type tlbSlot struct {
+	vpn   uint64
+	ppn   uint64
+	valid bool
+	used  uint64
+}
+
+// NewTLB returns a TLB with the given entry count and miss penalty,
+// backed by mapper. A nil mapper or entries <= 0 yields a pass-through
+// TLB that never misses (useful to disable the model).
+func NewTLB(entries, missPenalty int, mapper Mapper) *TLB {
+	t := &TLB{Entries: entries, MissPenalty: missPenalty, mapper: mapper}
+	if mapper != nil && entries > 0 {
+		t.slots = make([]tlbSlot, entries)
+		t.enabled = true
+	}
+	return t
+}
+
+// Translate returns the physical address for va and the cycle cost of
+// the translation (0 on hit, MissPenalty on miss).
+func (t *TLB) Translate(va uint64) (pa uint64, cycles int) {
+	if !t.enabled {
+		if t.mapper != nil {
+			return t.mapper.Translate(va), 0
+		}
+		return va, 0
+	}
+	t.clock++
+	vpn := va / PageSize
+	lruIdx, lruUsed := 0, ^uint64(0)
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.vpn == vpn {
+			s.used = t.clock
+			t.hits++
+			return s.ppn*PageSize + va%PageSize, 0
+		}
+		if !s.valid {
+			lruIdx, lruUsed = i, 0
+		} else if s.used < lruUsed {
+			lruIdx, lruUsed = i, s.used
+		}
+	}
+	t.misses++
+	pa = t.mapper.Translate(va)
+	t.slots[lruIdx] = tlbSlot{vpn: vpn, ppn: pa / PageSize, valid: true, used: t.clock}
+	return pa, t.MissPenalty
+}
+
+// Stats returns hit and miss counts since creation or the last Flush.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Flush invalidates all entries and zeroes the counters (context switch).
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+	t.hits, t.misses = 0, 0
+}
+
+// String describes the TLB configuration.
+func (t *TLB) String() string {
+	if !t.enabled {
+		return "TLB(disabled)"
+	}
+	return fmt.Sprintf("TLB(%d entries, %d-cycle miss)", t.Entries, t.MissPenalty)
+}

@@ -1,0 +1,80 @@
+package membench
+
+import (
+	"testing"
+
+	"montblanc/internal/platform"
+	"montblanc/internal/units"
+)
+
+func TestLocalityProfileShape(t *testing.T) {
+	p := platform.Snowball()
+	sizes := []int{16 * units.KiB, 64 * units.KiB, 2 * units.MiB}
+	strides := []int{1, 4, 16}
+	profile, err := LocalityProfile(p, sizes, strides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) != 9 {
+		t.Fatalf("profile cells = %d, want 9", len(profile))
+	}
+	// Temporal locality: L1-resident beats L2-resident beats DRAM.
+	l1, _ := At(profile, 16*units.KiB, 1)
+	l2, _ := At(profile, 64*units.KiB, 1)
+	dram, _ := At(profile, 2*units.MiB, 1)
+	if !(l1.Bandwidth > l2.Bandwidth && l2.Bandwidth > dram.Bandwidth) {
+		t.Errorf("capacity ordering broken: %.2f / %.2f / %.2f GB/s",
+			l1.Bandwidth/1e9, l2.Bandwidth/1e9, dram.Bandwidth/1e9)
+	}
+	// Spatial locality: striding past the 32B line (8 x 32-bit elements)
+	// wastes the line, so stride 16 is far slower than stride 1 for
+	// DRAM-resident arrays.
+	s1, _ := At(profile, 2*units.MiB, 1)
+	s16, _ := At(profile, 2*units.MiB, 16)
+	if s16.Bandwidth > s1.Bandwidth/3 {
+		t.Errorf("stride-16 bandwidth %.3f GB/s not <3x below stride-1 %.3f",
+			s16.Bandwidth/1e9, s1.Bandwidth/1e9)
+	}
+	// Within the L1 (no misses at any stride) strides cost nothing.
+	f1, _ := At(profile, 16*units.KiB, 1)
+	f16, _ := At(profile, 16*units.KiB, 16)
+	if f16.Bandwidth < f1.Bandwidth*0.95 {
+		t.Errorf("L1-resident stride sensitivity unexpected: %.3f vs %.3f GB/s",
+			f16.Bandwidth/1e9, f1.Bandwidth/1e9)
+	}
+}
+
+func TestCapacityCliffsLocateCacheLevels(t *testing.T) {
+	p := platform.Snowball() // L1 32KB, L2 512KB
+	sizes := []int{16 * units.KiB, 64 * units.KiB, 1 * units.MiB}
+	profile, err := LocalityProfile(p, sizes, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliffs := CapacityCliffs(profile, 1)
+	if len(cliffs) != 2 {
+		t.Fatalf("cliffs = %d, want 2", len(cliffs))
+	}
+	// Crossing L1 and crossing L2 must each cost a visible factor.
+	if cliffs[0] < 1.1 {
+		t.Errorf("L1 boundary cliff = %.2f, want > 1.1", cliffs[0])
+	}
+	if cliffs[1] < 1.5 {
+		t.Errorf("L2 boundary cliff = %.2f, want > 1.5", cliffs[1])
+	}
+}
+
+func TestLocalityProfileValidation(t *testing.T) {
+	if _, err := LocalityProfile(platform.Snowball(), nil, []int{1}); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := LocalityProfile(platform.Snowball(), []int{1024}, nil); err == nil {
+		t.Error("empty strides accepted")
+	}
+}
+
+func TestAtMissing(t *testing.T) {
+	if _, ok := At(nil, 1, 1); ok {
+		t.Error("At on empty profile succeeded")
+	}
+}

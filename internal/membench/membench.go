@@ -1,0 +1,246 @@
+// Package membench implements the memory-intensive kernel of §V.A,
+// modelled after Tikir et al.'s benchmark (the paper's [14]): it loops
+// over an array of fixed size with a fixed stride and reports the
+// effective memory bandwidth. The array size probes temporal locality
+// (cache capacity), the stride spatial locality (line utilization), and
+// the element width / unroll degree the instruction-level effects of
+// Figure 6.
+package membench
+
+import (
+	"fmt"
+
+	"montblanc/internal/cache"
+	"montblanc/internal/cpu"
+	"montblanc/internal/mem"
+	"montblanc/internal/osmodel"
+	"montblanc/internal/papi"
+	"montblanc/internal/platform"
+	"montblanc/internal/xrand"
+)
+
+// Config parameterizes one bandwidth measurement.
+type Config struct {
+	ArrayBytes    int       // working-set size
+	StrideElems   int       // stride in elements (default 1)
+	Width         cpu.Width // element width (default 32-bit)
+	Unroll        int       // manual unroll degree (default 1)
+	WarmPasses    int       // passes before measurement (default 2)
+	MeasurePasses int       // measured passes (default 2)
+}
+
+func (c Config) withDefaults() Config {
+	if c.StrideElems <= 0 {
+		c.StrideElems = 1
+	}
+	if c.Width == 0 {
+		c.Width = cpu.W32
+	}
+	if c.Unroll <= 0 {
+		c.Unroll = 1
+	}
+	if c.WarmPasses <= 0 {
+		c.WarmPasses = 2
+	}
+	if c.MeasurePasses <= 0 {
+		c.MeasurePasses = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.ArrayBytes < c.Width.Bytes() {
+		return fmt.Errorf("membench: array of %d bytes smaller than one element", c.ArrayBytes)
+	}
+	return nil
+}
+
+// Result is one bandwidth measurement.
+type Result struct {
+	Config    Config
+	Cycles    float64
+	Accesses  uint64
+	Seconds   float64
+	Bandwidth float64 // effective bytes/s = accesses * elemBytes / time
+	Counters  papi.Counters
+}
+
+// Runner performs measurements against one platform with one page
+// mapping, modelling a single process whose malloc/free keeps returning
+// the same physical pages (§V.A.1).
+type Runner struct {
+	plat *platform.Platform
+	hier *cache.Hierarchy
+}
+
+// NewRunner creates a Runner for platform p with page mapper m (nil for
+// identity mapping).
+func NewRunner(p *platform.Platform, m mem.Mapper) (*Runner, error) {
+	h, err := p.NewHierarchy(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{plat: p, hier: h}, nil
+}
+
+// Run measures one configuration and returns the result.
+func (r *Runner) Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	elemBytes := cfg.Width.Bytes()
+	n := cfg.ArrayBytes / elemBytes
+	stride := cfg.StrideElems
+
+	// Issue cost per access from the core model: the unrolled loop body
+	// amortizes loop overhead but may spill registers.
+	issuePerAccess := r.plat.CPU.IterationCost(cfg.Width, cfg.Unroll) / float64(cfg.Unroll)
+	l1Hit := r.hier.L1HitLatency()
+
+	pass := func(measured bool) (cycles float64, accesses uint64) {
+		for i := 0; i < n; i += stride {
+			va := uint64(i * elemBytes)
+			lat := r.hier.Access(va, false)
+			if measured {
+				cycles += issuePerAccess + r.plat.CPU.StallCycles(lat, l1Hit)
+				accesses++
+			}
+		}
+		return cycles, accesses
+	}
+
+	for w := 0; w < cfg.WarmPasses; w++ {
+		pass(false)
+	}
+	r.hier.ResetStats()
+	var totalCycles float64
+	var totalAccesses uint64
+	for p := 0; p < cfg.MeasurePasses; p++ {
+		c, a := pass(true)
+		totalCycles += c
+		totalAccesses += a
+	}
+
+	res := Result{
+		Config:   cfg,
+		Cycles:   totalCycles,
+		Accesses: totalAccesses,
+	}
+	res.Seconds = totalCycles * r.plat.CPU.SecondsPerCycle()
+	if res.Seconds > 0 {
+		res.Bandwidth = float64(totalAccesses) * float64(elemBytes) / res.Seconds
+	}
+	res.Counters = papi.FromHierarchy(r.hier)
+	return res, nil
+}
+
+// Run is a convenience that builds a fresh Runner and measures cfg once.
+func Run(p *platform.Platform, m mem.Mapper, cfg Config) (Result, error) {
+	r, err := NewRunner(p, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run(cfg)
+}
+
+// Measurement is one point of a randomized sweep (Figure 5).
+type Measurement struct {
+	Seq       int // wall-clock order in the sweep
+	SizeBytes int
+	Rep       int
+	Bandwidth float64 // effective bytes/s after scheduler perturbation
+	Degraded  bool    // scheduler was in a degraded window (if knowable)
+}
+
+// Sweep measures every size in sizes reps times under environment env,
+// in randomized order as §V.A.1 prescribes ("benchmarks ... need to be
+// thoroughly randomized"), and returns measurements in wall-clock order.
+func Sweep(p *platform.Platform, env osmodel.Environment, sizes []int, reps int) ([]Measurement, error) {
+	mapper := env.Pages.NewMapper(env.Seed)
+	runner, err := NewRunner(p, mapper)
+	if err != nil {
+		return nil, err
+	}
+
+	type point struct{ size, rep int }
+	var order []point
+	for _, s := range sizes {
+		for r := 0; r < reps; r++ {
+			order = append(order, point{s, r})
+		}
+	}
+	rng := xrand.New(env.Seed)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// Cache raw (unperturbed) results per size: the simulated kernel is
+	// deterministic for a fixed mapper, so re-running identical
+	// configurations only costs time. Scheduler perturbation is applied
+	// per measurement afterwards, which is also physically faithful:
+	// the kernel's work is identical, the OS window slows it down.
+	raw := make(map[int]Result)
+	out := make([]Measurement, 0, len(order))
+	rt, _ := env.Scheduler.(*osmodel.RTScheduler)
+	for seq, pt := range order {
+		res, ok := raw[pt.size]
+		if !ok {
+			res, err = runner.Run(Config{ArrayBytes: pt.size})
+			if err != nil {
+				return nil, err
+			}
+			raw[pt.size] = res
+		}
+		factor := env.Scheduler.Next()
+		m := Measurement{
+			Seq:       seq,
+			SizeBytes: pt.size,
+			Rep:       pt.rep,
+			Bandwidth: res.Bandwidth / factor,
+		}
+		if rt != nil {
+			m.Degraded = rt.Degraded()
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// GridPoint is one cell of the Figure 6 optimization grid.
+type GridPoint struct {
+	Width     cpu.Width
+	Unroll    int
+	Bandwidth float64 // bytes/s
+}
+
+// OptimizationGrid measures the element-width x unroll grid of Figure 6
+// on platform p for the given array size (the paper uses 50 KB, stride
+// 1, unroll in {1, 8}).
+func OptimizationGrid(p *platform.Platform, arrayBytes int, unrolls []int) ([]GridPoint, error) {
+	var out []GridPoint
+	for _, w := range cpu.Widths() {
+		for _, u := range unrolls {
+			res, err := Run(p, nil, Config{
+				ArrayBytes: arrayBytes,
+				Width:      w,
+				Unroll:     u,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, GridPoint{Width: w, Unroll: u, Bandwidth: res.Bandwidth})
+		}
+	}
+	return out, nil
+}
+
+// Find returns the grid point for (w, u), or false if absent.
+func Find(grid []GridPoint, w cpu.Width, u int) (GridPoint, bool) {
+	for _, g := range grid {
+		if g.Width == w && g.Unroll == u {
+			return g, true
+		}
+	}
+	return GridPoint{}, false
+}

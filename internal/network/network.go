@@ -1,0 +1,289 @@
+// Package network simulates the Ethernet fabric of the Tibidabo cluster:
+// full-duplex links, store-and-forward switches with finite per-port
+// buffers, and hierarchical 48-port 1 GbE topologies. The model is
+// flow-level: a message reserves each link of its path in sequence, and
+// the backlog a link has accumulated when a message arrives stands in
+// for switch queue occupancy — when it exceeds the port buffer the
+// message suffers a retransmission penalty. That mechanism is the
+// paper's diagnosis for BigDFT's delayed all_to_all_v collectives
+// (Figure 4): "The Ethernet switches used in Tibidabo was identified as
+// the origin of these bad performances."
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link is one direction of a cable or backplane port.
+type Link struct {
+	Name      string
+	Bandwidth float64 // bytes/s
+	Latency   float64 // seconds per traversal
+	Buffer    int     // egress buffer in bytes; 0 = infinite (no drops)
+	// RetransmitPenalty is added to a message's completion when it
+	// arrives to an overflowing buffer (drop + timeout + resend).
+	RetransmitPenalty float64
+
+	busyUntil float64
+	transfers uint64
+	drops     uint64
+}
+
+// NewLink returns a link with the given characteristics. Non-positive
+// bandwidths and negative latencies are clamped to tiny-but-valid
+// values so a misconfigured topology degrades instead of dividing by
+// zero.
+func NewLink(name string, bandwidth, latency float64, buffer int, penalty float64) *Link {
+	if bandwidth <= 0 {
+		bandwidth = 1
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	if penalty < 0 {
+		penalty = 0
+	}
+	return &Link{
+		Name:              name,
+		Bandwidth:         bandwidth,
+		Latency:           latency,
+		Buffer:            buffer,
+		RetransmitPenalty: penalty,
+	}
+}
+
+// Backlog returns the queued bytes not yet serialized at time t.
+func (l *Link) Backlog(t float64) float64 {
+	if l.busyUntil <= t {
+		return 0
+	}
+	return (l.busyUntil - t) * l.Bandwidth
+}
+
+// Transfer reserves the link for a message of the given size arriving at
+// time t. It returns the time the last byte leaves the link and whether
+// the message was delayed by a buffer overrun. The retransmission
+// penalty delays the message's own delivery but not the link: other
+// traffic flows while the dropped packet waits for its timeout.
+func (l *Link) Transfer(t float64, bytes int) (done float64, dropped bool) {
+	return l.transfer(t, bytes, false)
+}
+
+// TransferFlowControlled is Transfer for receiver-paced (rendezvous)
+// messages: they share bandwidth and queue like everyone else, but a
+// full buffer never drops them.
+func (l *Link) TransferFlowControlled(t float64, bytes int) float64 {
+	done, _ := l.transfer(t, bytes, true)
+	return done
+}
+
+func (l *Link) transfer(t float64, bytes int, flowControlled bool) (done float64, dropped bool) {
+	l.transfers++
+	severity := 1.0
+	if !flowControlled && l.Buffer > 0 {
+		if backlog := l.Backlog(t); backlog > float64(l.Buffer) {
+			dropped = true
+			l.drops++
+			// Sustained overload loses several packets in a row and
+			// triggers exponential backoff: scale the penalty with the
+			// (log of the) overflow factor.
+			severity = 1 + math.Log2(backlog/float64(l.Buffer))
+		}
+	}
+	start := math.Max(t, l.busyUntil)
+	done = start + l.Latency + float64(bytes)/l.Bandwidth
+	l.busyUntil = done
+	if dropped {
+		done += l.RetransmitPenalty * severity
+	}
+	return done, dropped
+}
+
+// Stats returns the transfer and drop counts.
+func (l *Link) Stats() (transfers, drops uint64) { return l.transfers, l.drops }
+
+// Reset clears reservations and counters.
+func (l *Link) Reset() {
+	l.busyUntil = 0
+	l.transfers = 0
+	l.drops = 0
+}
+
+// Network is a set of nodes with a routing function returning the
+// ordered links a message crosses from src to dst.
+type Network struct {
+	NumNodes int
+	route    func(src, dst int) []*Link
+	links    []*Link
+}
+
+// New creates a network over numNodes nodes. route must return the link
+// path for any src != dst pair; links is the full link inventory (for
+// stats and reset).
+func New(numNodes int, links []*Link, route func(src, dst int) []*Link) *Network {
+	return &Network{NumNodes: numNodes, route: route, links: links}
+}
+
+// Result describes one message delivery.
+type Result struct {
+	Arrival float64 // when the last byte reaches dst
+	Dropped bool    // at least one hop overran a buffer
+	Hops    int
+}
+
+// SendOptions tunes one message delivery.
+type SendOptions struct {
+	// FlowControlled marks a rendezvous-protocol message: the receiver
+	// paces the sender, so switch buffers cannot overflow, at the cost
+	// of an extra handshake round-trip.
+	FlowControlled bool
+}
+
+// Send delivers an eager message of the given size from src to dst,
+// injected at time t, and returns its arrival time. Store-and-forward:
+// each link is traversed after the previous one delivered the full
+// message.
+func (n *Network) Send(t float64, src, dst, bytes int) (Result, error) {
+	return n.SendOpts(t, src, dst, bytes, SendOptions{})
+}
+
+// SendOpts is Send with explicit protocol options.
+func (n *Network) SendOpts(t float64, src, dst, bytes int, o SendOptions) (Result, error) {
+	if src < 0 || src >= n.NumNodes || dst < 0 || dst >= n.NumNodes {
+		return Result{}, fmt.Errorf("network: rank out of range: %d -> %d", src, dst)
+	}
+	if bytes < 0 {
+		return Result{}, fmt.Errorf("network: negative message size %d", bytes)
+	}
+	path := n.route(src, dst)
+	res := Result{Arrival: t, Hops: len(path)}
+	if o.FlowControlled {
+		// Rendezvous handshake: request + clear-to-send round trip.
+		for _, l := range path {
+			res.Arrival += 2 * l.Latency
+		}
+		for _, l := range path {
+			res.Arrival = l.TransferFlowControlled(res.Arrival, bytes)
+		}
+		return res, nil
+	}
+	for _, l := range path {
+		done, dropped := l.Transfer(res.Arrival, bytes)
+		res.Arrival = done
+		res.Dropped = res.Dropped || dropped
+	}
+	return res, nil
+}
+
+// Drops returns the total buffer overruns across all links.
+func (n *Network) Drops() uint64 {
+	var d uint64
+	for _, l := range n.links {
+		_, dd := l.Stats()
+		d += dd
+	}
+	return d
+}
+
+// Reset clears all link state.
+func (n *Network) Reset() {
+	for _, l := range n.links {
+		l.Reset()
+	}
+}
+
+// GigE characteristics used by the Tibidabo builders.
+const (
+	GigEBandwidth = 125e6 // bytes/s (1 Gb/s)
+	FastBandwidth = 12.5e6
+	// GigELatency is the per-hop latency including the slow TCP stack on
+	// the Tegra2 (the Tibidabo report measures ~50-100us MPI latency).
+	GigELatency = 50e-6
+	// SwitchPortBuffer approximates the shared buffer slice one port of
+	// a commodity 48-port GbE switch gets.
+	SwitchPortBuffer = 256 << 10
+	// RetransmitPenalty is the effective cost of a drop: TCP fast
+	// retransmit / timeout on a slow ARM host.
+	RetransmitPenalty = 15e-3
+	// LoopbackBandwidth models intra-node (shared-memory) transfers on
+	// the Tegra2's DDR2.
+	LoopbackBandwidth = 600e6
+	LoopbackLatency   = 2e-6
+)
+
+// Star builds a single-switch network: every node connects to one switch
+// with an up and a down link. This is a Tibidabo slice of up to one
+// 48-port switch (the ≤36-core experiments of Figures 3c and 4).
+func Star(nodes int) *Network {
+	up := make([]*Link, nodes)
+	down := make([]*Link, nodes)
+	loop := make([]*Link, nodes)
+	var all []*Link
+	for i := 0; i < nodes; i++ {
+		up[i] = NewLink(fmt.Sprintf("node%d->sw", i), GigEBandwidth, GigELatency, 0, 0)
+		down[i] = NewLink(fmt.Sprintf("sw->node%d", i), GigEBandwidth, GigELatency,
+			SwitchPortBuffer, RetransmitPenalty)
+		loop[i] = NewLink(fmt.Sprintf("node%d-loop", i), LoopbackBandwidth, LoopbackLatency, 0, 0)
+		all = append(all, up[i], down[i], loop[i])
+	}
+	return New(nodes, all, func(src, dst int) []*Link {
+		if src == dst {
+			return []*Link{loop[src]}
+		}
+		return []*Link{up[src], down[dst]}
+	})
+}
+
+// Tree builds a two-level switch hierarchy: nodes attach to leaf
+// switches of leafSize ports; leaves connect to a root switch through
+// one uplink pair each (1:leafSize oversubscription, as on Tibidabo
+// where 48-port leaf switches interconnect hierarchically).
+func Tree(nodes, leafSize int) *Network {
+	if leafSize <= 0 {
+		leafSize = 32
+	}
+	nLeaves := (nodes + leafSize - 1) / leafSize
+	up := make([]*Link, nodes)
+	down := make([]*Link, nodes)
+	loop := make([]*Link, nodes)
+	leafUp := make([]*Link, nLeaves)
+	leafDown := make([]*Link, nLeaves)
+	var all []*Link
+	for i := 0; i < nodes; i++ {
+		up[i] = NewLink(fmt.Sprintf("node%d->leaf", i), GigEBandwidth, GigELatency, 0, 0)
+		down[i] = NewLink(fmt.Sprintf("leaf->node%d", i), GigEBandwidth, GigELatency,
+			SwitchPortBuffer, RetransmitPenalty)
+		loop[i] = NewLink(fmt.Sprintf("node%d-loop", i), LoopbackBandwidth, LoopbackLatency, 0, 0)
+		all = append(all, up[i], down[i], loop[i])
+	}
+	for s := 0; s < nLeaves; s++ {
+		leafUp[s] = NewLink(fmt.Sprintf("leaf%d->root", s), GigEBandwidth, GigELatency,
+			SwitchPortBuffer, RetransmitPenalty)
+		leafDown[s] = NewLink(fmt.Sprintf("root->leaf%d", s), GigEBandwidth, GigELatency,
+			SwitchPortBuffer, RetransmitPenalty)
+		all = append(all, leafUp[s], leafDown[s])
+	}
+	leafOf := func(node int) int { return node / leafSize }
+	return New(nodes, all, func(src, dst int) []*Link {
+		if src == dst {
+			return []*Link{loop[src]}
+		}
+		ls, ld := leafOf(src), leafOf(dst)
+		if ls == ld {
+			return []*Link{up[src], down[dst]}
+		}
+		return []*Link{up[src], leafUp[ls], leafDown[ld], down[dst]}
+	})
+}
+
+// InfiniteBuffers disables buffer overruns on every link — the ablation
+// knob for the Figure 3c collapse (DESIGN.md decision 2).
+func (n *Network) InfiniteBuffers() {
+	for _, l := range n.links {
+		l.Buffer = 0
+	}
+}

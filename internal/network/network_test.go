@@ -1,0 +1,279 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkTransferTiming(t *testing.T) {
+	l := NewLink("l", 100, 0.5, 0, 0) // 100 B/s, 0.5s latency
+	done, dropped := l.Transfer(0, 100)
+	if dropped {
+		t.Error("unexpected drop")
+	}
+	if done != 1.5 { // 0.5 latency + 1s serialization
+		t.Errorf("done = %v, want 1.5", done)
+	}
+	// Second message queues behind the first.
+	done2, _ := l.Transfer(0, 100)
+	if done2 != 3.0 {
+		t.Errorf("done2 = %v, want 3.0", done2)
+	}
+}
+
+func TestLinkIdleGap(t *testing.T) {
+	l := NewLink("l", 100, 0, 0, 0)
+	l.Transfer(0, 100) // busy until 1.0
+	done, _ := l.Transfer(5, 100)
+	if done != 6.0 {
+		t.Errorf("done = %v, want 6.0 (idle gap honoured)", done)
+	}
+}
+
+func TestLinkBacklogAndDrop(t *testing.T) {
+	l := NewLink("l", 100, 0, 150, 1.0) // buffer 150 bytes, 1s penalty
+	l.Transfer(0, 100)                  // backlog at t=0 afterwards: 100 bytes
+	if b := l.Backlog(0); b != 100 {
+		t.Errorf("backlog = %v, want 100", b)
+	}
+	// Second message at t=0: backlog 100 <= 150, no drop; busy until 2.
+	if _, dropped := l.Transfer(0, 100); dropped {
+		t.Error("drop below buffer threshold")
+	}
+	// Third at t=0: backlog 200 > 150: dropped, severity-scaled penalty.
+	done, dropped := l.Transfer(0, 100)
+	if !dropped {
+		t.Error("expected drop above buffer threshold")
+	}
+	// start 2.0 + 1.0 serialization + penalty*(1+log2(200/150)).
+	want := 3.0 + (1 + math.Log2(200.0/150.0))
+	if math.Abs(done-want) > 1e-9 {
+		t.Errorf("done = %v, want %v", done, want)
+	}
+	if _, drops := l.Stats(); drops != 1 {
+		t.Errorf("drops = %d, want 1", drops)
+	}
+}
+
+func TestLinkInfiniteBufferNeverDrops(t *testing.T) {
+	l := NewLink("l", 100, 0, 0, 1.0)
+	for i := 0; i < 50; i++ {
+		if _, dropped := l.Transfer(0, 1000); dropped {
+			t.Fatal("infinite buffer dropped")
+		}
+	}
+}
+
+func TestLinkReset(t *testing.T) {
+	l := NewLink("l", 100, 0, 0, 0)
+	l.Transfer(0, 100)
+	l.Reset()
+	if l.Backlog(0) != 0 {
+		t.Error("reset kept backlog")
+	}
+	if tr, _ := l.Stats(); tr != 0 {
+		t.Error("reset kept stats")
+	}
+}
+
+func TestStarRouting(t *testing.T) {
+	n := Star(4)
+	res, err := n.Send(0, 0, 3, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 2 {
+		t.Errorf("hops = %d, want 2 (up + down)", res.Hops)
+	}
+	want := 2*GigELatency + 2*125/GigEBandwidth
+	if math.Abs(res.Arrival-want) > 1e-12 {
+		t.Errorf("arrival = %v, want %v", res.Arrival, want)
+	}
+	// Loopback is one cheap hop.
+	self, err := n.Send(0, 2, 2, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Hops != 1 {
+		t.Errorf("loopback hops = %d", self.Hops)
+	}
+	if self.Arrival >= res.Arrival {
+		t.Error("loopback should beat the switch path")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	n := Star(2)
+	if _, err := n.Send(0, -1, 1, 10); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := n.Send(0, 0, 2, 10); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if _, err := n.Send(0, 0, 1, -5); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// Incast: many senders to one destination overflow its down-port buffer
+// and suffer the retransmit penalty — the Figure 4 mechanism.
+func TestIncastCausesDrops(t *testing.T) {
+	const nodes = 18
+	n := Star(nodes)
+	const msg = 100 << 10
+	var last Result
+	for src := 1; src < nodes; src++ {
+		res, err := n.Send(0, src, 0, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	if n.Drops() == 0 {
+		t.Fatal("17-to-1 incast of 100KB messages should overflow a 192KB port buffer")
+	}
+	// The delayed completion must reflect the retransmit penalties.
+	serial := float64((nodes-1)*msg) / GigEBandwidth
+	if last.Arrival < serial+RetransmitPenalty {
+		t.Errorf("last arrival %.4fs does not include penalties (serial %.4fs)",
+			last.Arrival, serial)
+	}
+}
+
+// One-to-one traffic (the SPECFEM3D pattern) never drops.
+func TestPairwiseTrafficClean(t *testing.T) {
+	const nodes = 16
+	n := Star(nodes)
+	for round := 1; round < nodes; round++ {
+		for src := 0; src < nodes; src++ {
+			dst := (src + round) % nodes
+			if _, err := n.Send(float64(round), src, dst, 64<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if d := n.Drops(); d != 0 {
+		t.Errorf("pairwise traffic dropped %d times", d)
+	}
+}
+
+func TestTreeCrossLeafPath(t *testing.T) {
+	n := Tree(64, 32)
+	same, err := n.Send(0, 0, 31, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Hops != 2 {
+		t.Errorf("intra-leaf hops = %d, want 2", same.Hops)
+	}
+	cross, err := n.Send(0, 1, 40, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Hops != 4 {
+		t.Errorf("cross-leaf hops = %d, want 4 (up, leaf-up, root-down, down)", cross.Hops)
+	}
+	if cross.Arrival <= same.Arrival {
+		t.Error("cross-leaf path should be slower")
+	}
+}
+
+// The leaf uplink is 1:32 oversubscribed: cross-leaf all-to-all traffic
+// funnels through it and congests far worse than intra-leaf traffic.
+func TestTreeUplinkOversubscription(t *testing.T) {
+	n := Tree(64, 32)
+	const msg = 64 << 10
+	var crossLast float64
+	for src := 0; src < 32; src++ {
+		res, err := n.Send(0, src, 32+src, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Arrival > crossLast {
+			crossLast = res.Arrival
+		}
+	}
+	n2 := Tree(64, 32)
+	var intraLast float64
+	for src := 0; src < 16; src++ {
+		res, err := n2.Send(0, src, 16+src, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Arrival > intraLast {
+			intraLast = res.Arrival
+		}
+	}
+	if crossLast < 8*intraLast {
+		t.Errorf("uplink funnel: cross-leaf %.4fs vs intra-leaf %.4fs — not oversubscribed",
+			crossLast, intraLast)
+	}
+}
+
+func TestInfiniteBuffersAblation(t *testing.T) {
+	const nodes = 18
+	n := Star(nodes)
+	n.InfiniteBuffers()
+	for src := 1; src < nodes; src++ {
+		if _, err := n.Send(0, src, 0, 100<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Drops() != 0 {
+		t.Error("infinite buffers still dropped")
+	}
+}
+
+func TestNetworkReset(t *testing.T) {
+	n := Star(18)
+	for src := 1; src < 18; src++ {
+		n.Send(0, src, 0, 100<<10)
+	}
+	if n.Drops() == 0 {
+		t.Fatal("precondition: expected drops")
+	}
+	n.Reset()
+	if n.Drops() != 0 {
+		t.Error("reset kept drops")
+	}
+	res, err := n.Send(0, 1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*GigELatency + 2*1000/GigEBandwidth
+	if math.Abs(res.Arrival-want) > 1e-12 {
+		t.Error("reset kept link reservations")
+	}
+}
+
+// Property: arrival is monotone in injection time and never precedes
+// injection + total latency + serialization of the slowest hop.
+func TestArrivalLowerBoundProperty(t *testing.T) {
+	f := func(seedT uint16, bytesRaw uint16) bool {
+		tIn := float64(seedT) / 1000
+		bytes := int(bytesRaw)%65536 + 1
+		n := Star(4)
+		res, err := n.Send(tIn, 1, 2, bytes)
+		if err != nil {
+			return false
+		}
+		lower := tIn + 2*GigELatency + float64(bytes)/GigEBandwidth
+		return res.Arrival >= lower-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewLinkClampsBadValues(t *testing.T) {
+	l := NewLink("bad", -5, -1, -100, -0.5)
+	if l.Bandwidth <= 0 || l.Latency < 0 || l.Buffer < 0 || l.RetransmitPenalty < 0 {
+		t.Errorf("bad values not clamped: %+v", l)
+	}
+	// Must not produce NaN/Inf timings.
+	done, _ := l.Transfer(0, 1000)
+	if math.IsNaN(done) || math.IsInf(done, 0) {
+		t.Errorf("degenerate link produced %v", done)
+	}
+}

@@ -1,0 +1,61 @@
+package platform
+
+import (
+	"testing"
+
+	"montblanc/internal/power"
+)
+
+func TestExynos5DualValidates(t *testing.T) {
+	p := Exynos5Dual()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Accel == nil {
+		t.Fatal("Exynos 5 must carry the Mali T604")
+	}
+}
+
+// §VI.A: "a peak performance of about a 100 GFLOPS for a power
+// consumption of 5 Watts".
+func TestExynos5HybridPeak(t *testing.T) {
+	p := Exynos5Dual()
+	peak := p.PeakFlopsWithAccel(false)
+	if peak < 75e9 || peak > 110e9 {
+		t.Errorf("hybrid SP peak = %.0f GFLOPS, want ~100", peak/1e9)
+	}
+	if g := power.GFLOPSPerWatt(peak, p.Power.Watts); g < 15 || g > 22 {
+		t.Errorf("SoC efficiency = %.1f GF/W, want ~20", g)
+	}
+}
+
+// "For codes that only support double precision, the final Mont-Blanc
+// prototype will use Exynos 5" — unlike the Tegra boards, the Mali T604
+// does double precision.
+func TestExynos5DoublePrecisionCapable(t *testing.T) {
+	p := Exynos5Dual()
+	if p.Accel.PeakDPFlops <= 0 {
+		t.Error("T604 must support DP")
+	}
+	dp := p.PeakFlopsWithAccel(true)
+	if dp <= p.PeakFlops(true) {
+		t.Error("accelerator DP not accounted")
+	}
+	// Tegra2 nodes gain nothing from PeakFlopsWithAccel (no GPU model).
+	tegra := Tegra2Node()
+	if tegra.PeakFlopsWithAccel(true) != tegra.PeakFlops(true) {
+		t.Error("GPU-less node should be unchanged")
+	}
+}
+
+// The generational leap the Mont-Blanc bet rests on: the Exynos 5 node
+// is an order of magnitude more efficient than a Tibidabo node.
+func TestExynos5BeatsTegra2Efficiency(t *testing.T) {
+	tegra := Tegra2Node()
+	exynos := Exynos5Dual()
+	tegraEff := power.GFLOPSPerWatt(tegra.PeakFlops(false), tegra.Power.Watts)
+	exynosEff := power.GFLOPSPerWatt(exynos.PeakFlopsWithAccel(false), exynos.Power.Watts)
+	if exynosEff < 10*tegraEff {
+		t.Errorf("Exynos5 %.2f GF/W not >=10x Tegra2 %.2f GF/W", exynosEff, tegraEff)
+	}
+}

@@ -1,0 +1,312 @@
+// Package platform assembles the machine models used throughout the
+// reproduction: the Calao Snowball (ST-Ericsson A9500), the Intel Xeon
+// X5550 reference server, and the Tibidabo compute node (NVIDIA Tegra2).
+//
+// A Platform bundles a core timing model, a cache hierarchy
+// configuration, memory characteristics and a power envelope, and can
+// instantiate fresh simulators (cache hierarchies, TLBs) for
+// experiments. Calibration constants come from the parts' public specs;
+// DESIGN.md documents how they were chosen.
+package platform
+
+import (
+	"fmt"
+
+	"montblanc/internal/cache"
+	"montblanc/internal/cpu"
+	"montblanc/internal/mem"
+	"montblanc/internal/power"
+	"montblanc/internal/topo"
+	"montblanc/internal/units"
+)
+
+// ISA identifies the instruction set, which matters for workloads whose
+// instruction counts differ across architectures (e.g. 64-bit bitboard
+// chess on a 32-bit ARM needs roughly twice the instructions).
+type ISA int
+
+// Supported instruction sets.
+const (
+	ARM32 ISA = iota
+	X8664
+)
+
+// String names the ISA.
+func (i ISA) String() string {
+	switch i {
+	case ARM32:
+		return "armv7"
+	case X8664:
+		return "x86_64"
+	default:
+		return fmt.Sprintf("ISA(%d)", int(i))
+	}
+}
+
+// Accelerator is an on-chip GPU usable for general-purpose compute, the
+// §VI.A perspective (Mali T604 on the Exynos 5, GPGPU on Tegra 3).
+type Accelerator struct {
+	Name        string
+	PeakSPFlops float64 // flops/s, single precision
+	PeakDPFlops float64 // flops/s, double precision (0 = unsupported)
+}
+
+// Platform is a complete single-node machine model.
+type Platform struct {
+	Name  string
+	CPU   *cpu.Model
+	Cores int
+	ISA   ISA
+
+	// Accel is the integrated GPU, when present.
+	Accel *Accelerator
+
+	RAMBytes int64
+
+	// Power is the conservative envelope the paper accounts: full board
+	// power for the Snowball (2.5 W), full TDP for the Xeon (95 W).
+	Power power.Model
+
+	// MemBandwidth is the sustained stream bandwidth to DRAM in bytes/s
+	// (per node, all cores).
+	MemBandwidth float64
+
+	// MemLatencyCycles is the DRAM access latency in core cycles.
+	MemLatencyCycles int
+
+	// Caches lists the cache levels, L1 first. The L1 entry is the one
+	// whose page-colour count drives the §V.A.1 reproducibility story.
+	Caches []cache.Config
+
+	TLBEntries     int
+	TLBMissPenalty int
+}
+
+// Validate checks the platform definition.
+func (p *Platform) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("platform %s: cores = %d", p.Name, p.Cores)
+	}
+	if err := p.CPU.Validate(); err != nil {
+		return err
+	}
+	if len(p.Caches) == 0 {
+		return fmt.Errorf("platform %s: no cache levels", p.Name)
+	}
+	for _, c := range p.Caches {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.MemBandwidth <= 0 || p.MemLatencyCycles <= 0 || p.RAMBytes <= 0 {
+		return fmt.Errorf("platform %s: incomplete memory spec", p.Name)
+	}
+	return nil
+}
+
+// NewHierarchy builds a fresh cache hierarchy for one core of the
+// platform, translating through mapper (nil for identity mapping).
+func (p *Platform) NewHierarchy(mapper mem.Mapper) (*cache.Hierarchy, error) {
+	var tlb *mem.TLB
+	if mapper != nil {
+		tlb = mem.NewTLB(p.TLBEntries, p.TLBMissPenalty, mapper)
+	}
+	return cache.NewHierarchy(p.Caches, p.MemLatencyCycles, tlb)
+}
+
+// L1 returns the first-level cache configuration.
+func (p *Platform) L1() cache.Config { return p.Caches[0] }
+
+// PageColors returns the number of physical page colours of the L1,
+// the quantity that decides whether random page placement can hurt.
+func (p *Platform) PageColors() int {
+	l1 := p.L1()
+	return mem.PageColors(l1.Size, l1.Associativity)
+}
+
+// PeakFlops returns the node CPU peak in flops/s at the given precision.
+func (p *Platform) PeakFlops(doublePrecision bool) float64 {
+	r := p.CPU.FlopsPerCycleSP
+	if doublePrecision {
+		r = p.CPU.FlopsPerCycleDP
+	}
+	return float64(p.Cores) * p.CPU.ClockHz * r
+}
+
+// PeakFlopsWithAccel returns the hybrid node peak including the
+// integrated GPU, when present and capable of the precision.
+func (p *Platform) PeakFlopsWithAccel(doublePrecision bool) float64 {
+	total := p.PeakFlops(doublePrecision)
+	if p.Accel != nil {
+		if doublePrecision {
+			total += p.Accel.PeakDPFlops
+		} else {
+			total += p.Accel.PeakSPFlops
+		}
+	}
+	return total
+}
+
+// SustainedFlops returns the node throughput at the given precision and
+// kernel efficiency (fraction of peak in (0,1]).
+func (p *Platform) SustainedFlops(doublePrecision bool, efficiency float64) float64 {
+	if efficiency <= 0 || efficiency > 1 {
+		efficiency = 1
+	}
+	return p.PeakFlops(doublePrecision) * efficiency
+}
+
+// IntThroughput returns the node integer-op throughput in ops/s.
+func (p *Platform) IntThroughput() float64 {
+	return float64(p.Cores) * p.CPU.ClockHz * p.CPU.IntIPC
+}
+
+// Topology returns the hwloc-style tree of Figure 2.
+func (p *Platform) Topology() *topo.Object {
+	m := topo.NewMachine(p.RAMBytes)
+	s := topo.NewSocket(0)
+	perCore := make([]cache.Config, 0, len(p.Caches))
+	shared := make([]cache.Config, 0, len(p.Caches))
+	for _, c := range p.Caches {
+		if c.Shared {
+			shared = append(shared, c)
+		} else {
+			perCore = append(perCore, c)
+		}
+	}
+	// Shared caches wrap all cores; per-core caches nest around each
+	// core, outermost level first.
+	attach := s
+	for i := len(shared) - 1; i >= 0; i-- {
+		c := topo.NewCache(shared[i].Level, int64(shared[i].Size))
+		attach.Add(c)
+		attach = c
+	}
+	for core := 0; core < p.Cores; core++ {
+		inner := topo.NewCore(core).Add(topo.NewPU(core))
+		for i := 0; i < len(perCore); i++ {
+			// perCore is L1-first; nest L1 closest to the core.
+			c := topo.NewCache(perCore[i].Level, int64(perCore[i].Size))
+			c.Add(inner)
+			inner = c
+		}
+		attach.Add(inner)
+	}
+	m.Add(s)
+	return m
+}
+
+// String summarizes the platform.
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s: %d x %s @ %.2fGHz, %s RAM, %.1fW",
+		p.Name, p.Cores, p.CPU.Name, p.CPU.ClockHz/1e9,
+		units.Bytes(p.RAMBytes), p.Power.Watts)
+}
+
+// Snowball returns the Calao Snowball board model: dual-core A9500 at
+// 1 GHz, 1 GB LP-DDR2 (796 MB visible), 2.5 W USB power envelope.
+// The 32 KB 4-way L1 has two page colours — physically indexed, so an
+// unlucky physical allocation makes an L1-sized array conflict with
+// itself (§V.A.1).
+func Snowball() *Platform {
+	return &Platform{
+		Name:             "Snowball",
+		CPU:              cpu.A9500(),
+		Cores:            2,
+		ISA:              ARM32,
+		RAMBytes:         796 * units.MiB,
+		Power:            power.Model{Name: "Snowball", Watts: 2.5},
+		MemBandwidth:     1.0e9, // LP-DDR2, single 32-bit channel
+		MemLatencyCycles: 130,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 32, Associativity: 4, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 512 * units.KiB, LineSize: 32, Associativity: 8, HitLatency: 24, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 30,
+	}
+}
+
+// XeonX5550 returns the reference server model: quad-core Nehalem at
+// 2.66 GHz with hyperthreading disabled (as in the paper), 12 GB DDR3,
+// 95 W TDP. Its 32 KB 8-way L1 has a single page colour, which is why
+// x86 never showed the paper's page-allocation reproducibility problem.
+func XeonX5550() *Platform {
+	return &Platform{
+		Name:             "XeonX5550",
+		CPU:              cpu.Nehalem(),
+		Cores:            4,
+		ISA:              X8664,
+		RAMBytes:         12 * units.GiB,
+		Power:            power.Model{Name: "Xeon", Watts: 95},
+		MemBandwidth:     12e9, // triple-channel DDR3-1333, sustained
+		MemLatencyCycles: 180,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 256 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 10},
+			{Name: "L3", Level: 3, Size: 8 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 38, Shared: true},
+		},
+		TLBEntries:     64,
+		TLBMissPenalty: 25,
+	}
+}
+
+// Exynos5Dual returns the final Mont-Blanc prototype node the paper's
+// §VI anticipates: Samsung Exynos 5 Dual (two Cortex-A15 at 1.7 GHz)
+// with an integrated Mali-T604 GPU supporting double precision —
+// "a peak performance of about a 100 GFLOPS for a power consumption of
+// 5 Watts".
+func Exynos5Dual() *Platform {
+	a15 := cpu.CortexA9("CortexA15") // same family; key deltas below
+	a15.ClockHz = 1.7e9
+	a15.OutOfOrder = true
+	a15.MissOverlap = 0.6
+	a15.IntIPC = 1.4
+	a15.FlopsPerCycleSP = 4.0 // VFPv4 NEON with FMA
+	a15.FlopsPerCycleDP = 1.0 // NEONv2 handles doubles
+	a15.Regs = [3]int{14, 14, 8}
+	return &Platform{
+		Name:  "Exynos5Dual",
+		CPU:   a15,
+		Cores: 2,
+		ISA:   ARM32,
+		Accel: &Accelerator{
+			Name:        "Mali-T604",
+			PeakSPFlops: 68e9,
+			PeakDPFlops: 21e9,
+		},
+		RAMBytes:         2 * units.GiB,
+		Power:            power.Model{Name: "Exynos5", Watts: 5},
+		MemBandwidth:     6.4e9, // dual-channel LPDDR3
+		MemLatencyCycles: 180,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 2, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 21, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 25,
+	}
+}
+
+// Tegra2Node returns one Tibidabo compute node: dual-core Tegra2
+// (Cortex-A9 without NEON) at 1 GHz, 1 GB DDR2, with a PCIe 1 GbE NIC.
+// Node power (~8.5 W including NIC, per the Tibidabo report) is kept for
+// completeness; the paper does no large-scale power measurement.
+func Tegra2Node() *Platform {
+	return &Platform{
+		Name:             "Tegra2",
+		CPU:              cpu.Tegra2(),
+		Cores:            2,
+		ISA:              ARM32,
+		RAMBytes:         1 * units.GiB,
+		Power:            power.Model{Name: "Tegra2Node", Watts: 8.5},
+		MemBandwidth:     0.9e9,
+		MemLatencyCycles: 140,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 32, Associativity: 4, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 32, Associativity: 8, HitLatency: 28, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 30,
+	}
+}

@@ -1,0 +1,87 @@
+// Package power implements the paper's deliberately conservative energy
+// model (§III.C): the Snowball board is charged its full 2.5 W USB power
+// envelope, the Xeon its full 95 W TDP — "highly unfavorable for the ARM
+// platform", yet ARM still wins on several workloads.
+package power
+
+import "fmt"
+
+// Model is a constant-power energy model for one platform.
+type Model struct {
+	Name  string
+	Watts float64 // power accounted while the workload runs
+}
+
+// Energy returns the energy in joules to run for the given seconds.
+func (m Model) Energy(seconds float64) float64 { return m.Watts * seconds }
+
+// EnergyPerOp returns joules per unit of work given a rate in ops/s.
+func (m Model) EnergyPerOp(opsPerSecond float64) float64 {
+	if opsPerSecond <= 0 {
+		return 0
+	}
+	return m.Watts / opsPerSecond
+}
+
+// String describes the model.
+func (m Model) String() string { return fmt.Sprintf("%s(%.1fW)", m.Name, m.Watts) }
+
+// EnergyRatioByTime returns the paper's "Energy Ratio" column for
+// time-to-solution workloads: energy(candidate)/energy(reference) when
+// both run the same problem. A value below 1 means the candidate
+// (the ARM board) needs less energy.
+func EnergyRatioByTime(candidate Model, candidateSeconds float64, reference Model, referenceSeconds float64) float64 {
+	refE := reference.Energy(referenceSeconds)
+	if refE == 0 {
+		return 0
+	}
+	return candidate.Energy(candidateSeconds) / refE
+}
+
+// EnergyRatioByRate returns the energy ratio for throughput workloads
+// (LINPACK MFLOPS, CoreMark ops/s): joules-per-op(candidate) over
+// joules-per-op(reference).
+func EnergyRatioByRate(candidate Model, candidateRate float64, reference Model, referenceRate float64) float64 {
+	refJ := reference.EnergyPerOp(referenceRate)
+	if refJ == 0 {
+		return 0
+	}
+	return candidate.EnergyPerOp(candidateRate) / refJ
+}
+
+// GFLOPSPerWatt returns the efficiency figure used by the Green500
+// discussion in the introduction.
+func GFLOPSPerWatt(flopsPerSecond, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return flopsPerSecond / 1e9 / watts
+}
+
+// ExaflopBudget captures the paper's framing numbers: an exaflop system
+// under the 20 MW barrier needs 50 GFLOPS/W, a factor ~25 above the
+// 2012 state of the art (~2 GFLOPS/W).
+type ExaflopBudget struct {
+	TargetFlops    float64 // 1e18
+	PowerBudgetW   float64 // 20e6
+	RequiredGFperW float64
+	CurrentGFperW  float64
+	ImprovementGap float64
+}
+
+// NewExaflopBudget computes the efficiency gap for reaching targetFlops
+// within budgetWatts given the current best efficiency.
+func NewExaflopBudget(targetFlops, budgetWatts, currentGFLOPSPerWatt float64) ExaflopBudget {
+	req := targetFlops / 1e9 / budgetWatts
+	gap := 0.0
+	if currentGFLOPSPerWatt > 0 {
+		gap = req / currentGFLOPSPerWatt
+	}
+	return ExaflopBudget{
+		TargetFlops:    targetFlops,
+		PowerBudgetW:   budgetWatts,
+		RequiredGFperW: req,
+		CurrentGFperW:  currentGFLOPSPerWatt,
+		ImprovementGap: gap,
+	}
+}

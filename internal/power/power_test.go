@@ -1,0 +1,97 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+var (
+	snowball = Model{Name: "Snowball", Watts: 2.5}
+	xeon     = Model{Name: "Xeon", Watts: 95}
+)
+
+func TestEnergy(t *testing.T) {
+	if e := snowball.Energy(10); e != 25 {
+		t.Errorf("Energy = %v", e)
+	}
+	if e := xeon.Energy(0); e != 0 {
+		t.Errorf("zero-time energy = %v", e)
+	}
+}
+
+func TestEnergyPerOp(t *testing.T) {
+	if j := snowball.EnergyPerOp(2.5); j != 1 {
+		t.Errorf("EnergyPerOp = %v", j)
+	}
+	if j := snowball.EnergyPerOp(0); j != 0 {
+		t.Errorf("EnergyPerOp(0) = %v", j)
+	}
+}
+
+// Reproduce Table II's Energy Ratio column from the paper's raw numbers.
+func TestTable2EnergyRatios(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"LINPACK", EnergyRatioByRate(snowball, 620, xeon, 24000), 1.0},
+		{"CoreMark", EnergyRatioByRate(snowball, 5877, xeon, 41950), 0.2},
+		{"StockFish", EnergyRatioByRate(snowball, 224113, xeon, 4521733), 0.5},
+		{"SPECFEM3D", EnergyRatioByTime(snowball, 186.8, xeon, 23.5), 0.2},
+		{"BigDFT", EnergyRatioByTime(snowball, 420.4, xeon, 18.1), 0.6},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 0.07 {
+			t.Errorf("%s energy ratio = %.3f, want ~%.1f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestEnergyRatioZeroReference(t *testing.T) {
+	if r := EnergyRatioByTime(snowball, 10, Model{}, 0); r != 0 {
+		t.Errorf("ratio with zero reference = %v", r)
+	}
+	if r := EnergyRatioByRate(snowball, 10, xeon, 0); r != 0 {
+		t.Errorf("rate ratio with zero reference = %v", r)
+	}
+}
+
+func TestGFLOPSPerWatt(t *testing.T) {
+	// Paper intro: ~2 GFLOPS/W for the 2012 leader.
+	if g := GFLOPSPerWatt(16.3e15, 7.9e6); math.Abs(g-2.06) > 0.05 {
+		t.Errorf("Sequoia-class efficiency = %v", g)
+	}
+	if GFLOPSPerWatt(1, 0) != 0 {
+		t.Error("zero watts should yield 0")
+	}
+}
+
+// Paper intro: exaflop at 20 MW needs 50 GFLOPS/W, ~25x the 2012 state
+// of the art.
+func TestExaflopBudget(t *testing.T) {
+	b := NewExaflopBudget(1e18, 20e6, 2.0)
+	if b.RequiredGFperW != 50 {
+		t.Errorf("required = %v GF/W, want 50", b.RequiredGFperW)
+	}
+	if b.ImprovementGap != 25 {
+		t.Errorf("gap = %v, want 25", b.ImprovementGap)
+	}
+	b0 := NewExaflopBudget(1e18, 20e6, 0)
+	if b0.ImprovementGap != 0 {
+		t.Error("zero current efficiency should yield zero gap")
+	}
+}
+
+// The Mont-Blanc perspective (§VI.A): Exynos 5 at ~100 GFLOPS / 5 W
+// would reach 5-7 GFLOPS/W at the node level even after overheads.
+func TestExynosPerspective(t *testing.T) {
+	g := GFLOPSPerWatt(100e9, 5)
+	if g != 20 {
+		t.Errorf("Exynos5 peak efficiency = %v, want 20", g)
+	}
+	withOverheads := GFLOPSPerWatt(100e9, 5+10) // network+cooling+storage
+	if withOverheads < 5 {
+		t.Errorf("even with overheads should stay above 5 GF/W, got %v", withOverheads)
+	}
+}

@@ -1,0 +1,189 @@
+// Package report renders experiment results as aligned ASCII tables and
+// scatter/line charts, so every table and figure of the paper can be
+// regenerated on a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	sep := func() {
+		for i := 0; i < cols; i++ {
+			b.WriteString("+" + strings.Repeat("-", widths[i]+2))
+		}
+		b.WriteString("+\n")
+	}
+	sep()
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep()
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	sep()
+	return b.String()
+}
+
+// Series is one named point set of a chart.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Chart is an ASCII scatter/line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 20)
+	Series []Series
+}
+
+// Add appends a series with the given marker.
+func (c *Chart) Add(name string, marker rune, xs, ys []float64) {
+	c.Series = append(c.Series, Series{Name: name, Marker: marker, X: xs, Y: ys})
+}
+
+// String renders the chart with axes and ranges.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return c.Title + " (no data)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := int((s.Y[i] - minY) / (maxY - minY) * float64(h-1))
+			r := h - 1 - row
+			if grid[r][col] == ' ' || grid[r][col] == s.Marker {
+				grid[r][col] = s.Marker
+			} else {
+				grid[r][col] = '*' // collision
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for _, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "[%s]\n", strings.Join(legend, "  "))
+	}
+	fmt.Fprintf(&b, "%s: %s .. %s\n", orDefault(c.YLabel, "y"), formatFloat(minY), formatFloat(maxY))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "   %s: %s .. %s\n", orDefault(c.XLabel, "x"), formatFloat(minX), formatFloat(maxX))
+	return b.String()
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "Table II",
+		Headers: []string{"Benchmark", "Snowball", "Xeon", "Ratio"},
+	}
+	tab.AddRow("LINPACK (MFLOPS)", 620.0, 24000.0, 38.7)
+	tab.AddRow("CoreMark (ops/s)", 5877.0, 41950.0, 7.1)
+	out := tab.String()
+	for _, want := range []string{"Table II", "LINPACK", "620", "24000", "38.70", "7.10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the same length.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var dataLens []int
+	for _, l := range lines[1:] {
+		dataLens = append(dataLens, len(l))
+	}
+	for _, n := range dataLens {
+		if n != dataLens[0] {
+			t.Errorf("ragged table:\n%s", out)
+			break
+		}
+	}
+}
+
+func TestTableHandlesMixedTypes(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b", "c"}}
+	tab.AddRow(1, "x", 0.25)
+	out := tab.String()
+	if !strings.Contains(out, "0.2500") {
+		t.Errorf("small float format wrong:\n%s", out)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	ch := &Chart{Title: "Speedup", XLabel: "cores", YLabel: "speedup", Width: 40, Height: 10}
+	xs := []float64{1, 25, 50, 75, 100}
+	ch.Add("ideal", '.', xs, xs)
+	ch.Add("LINPACK", 'o', xs, []float64{1, 23, 44, 60, 73})
+	out := ch.String()
+	for _, want := range []string{"Speedup", ".=ideal", "o=LINPACK", "cores: 1 .. 100", "speedup: 1 .. 100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, ".") {
+		t.Error("chart missing markers")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	if out := ch.String(); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	ch := &Chart{Width: 10, Height: 5}
+	ch.Add("flat", 'x', []float64{1, 1, 1}, []float64{2, 2, 2})
+	out := ch.String()
+	if !strings.Contains(out, "x") {
+		t.Errorf("degenerate chart lost its points:\n%s", out)
+	}
+}
+
+func TestChartCollisionMarker(t *testing.T) {
+	ch := &Chart{Width: 10, Height: 5}
+	ch.Add("a", 'a', []float64{0, 1}, []float64{0, 1})
+	ch.Add("b", 'b', []float64{0, 1}, []float64{0, 1})
+	out := ch.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("collisions not marked:\n%s", out)
+	}
+}

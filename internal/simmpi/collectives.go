@@ -1,0 +1,317 @@
+package simmpi
+
+import "fmt"
+
+// Collective operations implemented over Send/Recv with the standard
+// algorithms real MPI libraries use — which is what exposes them to
+// switch congestion exactly as the paper observed: the naive linear
+// all-to-all floods destination ports (Figure 4), while neighbour-only
+// patterns stay clean.
+
+// Internal tag space for collectives, above any sane user tag.
+const (
+	tagBarrier   = 1 << 20
+	tagBcast     = 2 << 20
+	tagReduce    = 3 << 20
+	tagAlltoall  = 4 << 20
+	tagAllgather = 5 << 20
+)
+
+// Barrier synchronizes all ranks (dissemination algorithm: works for
+// any rank count, log2(n) rounds).
+func (p *Proc) Barrier() error {
+	return p.Collective("barrier", func() error {
+		for k := 1; k < p.size; k <<= 1 {
+			dst := (p.rank + k) % p.size
+			src := (p.rank - k + p.size) % p.size
+			if err := p.Send(dst, tagBarrier+k, 1); err != nil {
+				return err
+			}
+			if err := p.Recv(src, tagBarrier+k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Bcast broadcasts bytes from root to all ranks (binomial tree).
+func (p *Proc) Bcast(root, bytes int) error {
+	return p.Collective("bcast", func() error {
+		return p.bcastBinomial(root, bytes, tagBcast)
+	})
+}
+
+func (p *Proc) bcastBinomial(root, bytes, tag int) error {
+	relative := (p.rank - root + p.size) % p.size
+	mask := 1
+	for mask < p.size {
+		if relative&mask != 0 {
+			src := (relative - mask + root) % p.size
+			if err := p.Recv(src, tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relative+mask < p.size {
+			dst := (relative + mask + root) % p.size
+			if err := p.Send(dst, tag, bytes); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// BcastPipelined broadcasts bytes from root along a ring in segments —
+// the algorithm HPL-class codes use for large panels: for enough
+// segments the cost approaches bytes/bandwidth independent of the rank
+// count.
+func (p *Proc) BcastPipelined(root, bytes, segments int) error {
+	if segments < 1 {
+		segments = 1
+	}
+	return p.Collective("bcast", func() error {
+		if p.size == 1 {
+			return nil
+		}
+		relative := (p.rank - root + p.size) % p.size
+		next := (p.rank + 1) % p.size
+		prev := (p.rank - 1 + p.size) % p.size
+		segBytes := (bytes + segments - 1) / segments
+		for s := 0; s < segments; s++ {
+			tag := tagBcast + 1 + s
+			if relative != 0 {
+				if err := p.Recv(prev, tag); err != nil {
+					return err
+				}
+			}
+			if relative != p.size-1 {
+				if err := p.Send(next, tag, segBytes); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// BcastLarge broadcasts bytes from root with the scatter + ring
+// allgather algorithm MPI libraries use for large messages (and HPL for
+// panel broadcasts): the root binomially scatters 1/size-sized chunks,
+// then a ring allgather circulates them. Total cost approaches
+// 2*bytes/bandwidth independent of rank count, with size-1 neighbour
+// messages — no incast.
+func (p *Proc) BcastLarge(root, bytes int) error {
+	return p.Collective("bcast", func() error {
+		if p.size == 1 {
+			return nil
+		}
+		relative := (p.rank - root + p.size) % p.size
+		chunk := (bytes + p.size - 1) / p.size
+		// Scatter phase: binomial tree where each hop forwards only the
+		// destination subtree's share.
+		mask := 1
+		for mask < p.size {
+			if relative&mask != 0 {
+				src := (relative - mask + root) % p.size
+				if err := p.Recv(src, tagBcast+mask); err != nil {
+					return err
+				}
+				break
+			}
+			mask <<= 1
+		}
+		mask >>= 1
+		for mask > 0 {
+			if relative+mask < p.size {
+				dst := (relative + mask + root) % p.size
+				subtree := mask
+				if relative+2*mask > p.size {
+					subtree = p.size - relative - mask
+				}
+				if err := p.Send(dst, tagBcast+mask, subtree*chunk); err != nil {
+					return err
+				}
+			}
+			mask >>= 1
+		}
+		// Allgather phase: ring circulation of the size-1 missing chunks.
+		// Rounds are batched (several chunks per message) to keep the
+		// event count manageable; the bandwidth term — each ring link
+		// carries (size-1)*chunk bytes — is preserved exactly.
+		next := (p.rank + 1) % p.size
+		prev := (p.rank - 1 + p.size) % p.size
+		rounds := p.size - 1
+		if rounds > 8 {
+			rounds = 8
+		}
+		total := (p.size - 1) * chunk
+		for round := 0; round < rounds; round++ {
+			share := total / rounds
+			if round == rounds-1 {
+				share = total - share*(rounds-1)
+			}
+			if err := p.Send(next, tagAllgather+round, share); err != nil {
+				return err
+			}
+			if err := p.Recv(prev, tagAllgather+round); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Reduce combines bytes from all ranks at root (binomial tree, reversed
+// broadcast order).
+func (p *Proc) Reduce(root, bytes int) error {
+	return p.Collective("reduce", func() error {
+		relative := (p.rank - root + p.size) % p.size
+		mask := 1
+		for mask < p.size {
+			if relative&mask == 0 {
+				srcRel := relative | mask
+				if srcRel < p.size {
+					src := (srcRel + root) % p.size
+					if err := p.Recv(src, tagReduce+mask); err != nil {
+						return err
+					}
+				}
+			} else {
+				dst := (relative&^mask + root) % p.size
+				if err := p.Send(dst, tagReduce+mask, bytes); err != nil {
+					return err
+				}
+				break
+			}
+			mask <<= 1
+		}
+		return nil
+	})
+}
+
+// Allreduce reduces bytes across all ranks and distributes the result
+// (reduce to rank 0, then broadcast).
+func (p *Proc) Allreduce(bytes int) error {
+	return p.Collective("allreduce", func() error {
+		relative := p.rank
+		mask := 1
+		for mask < p.size {
+			if relative&mask == 0 {
+				srcRel := relative | mask
+				if srcRel < p.size {
+					if err := p.Recv(srcRel, tagReduce+mask); err != nil {
+						return err
+					}
+				}
+			} else {
+				dst := relative &^ mask
+				if err := p.Send(dst, tagReduce+mask, bytes); err != nil {
+					return err
+				}
+				break
+			}
+			mask <<= 1
+		}
+		return p.bcastBinomial(0, bytes, tagBcast-1)
+	})
+}
+
+// AlltoallvAlgorithm selects the all-to-all exchange schedule.
+type AlltoallvAlgorithm int
+
+// Alltoallv schedules.
+const (
+	// AlltoallvLinear posts sends to every peer in rank order before
+	// receiving — OpenMPI's basic_linear. All senders flood rank 0's
+	// port first, then rank 1's, ...: the incast pattern that overflows
+	// commodity switch buffers at scale.
+	AlltoallvLinear AlltoallvAlgorithm = iota
+	// AlltoallvPairwise walks shifted rounds (dst = rank+r, src =
+	// rank-r), keeping traffic one-to-one per round.
+	AlltoallvPairwise
+)
+
+// Alltoallv exchanges bytesTo[i] bytes with every rank i (len(bytesTo)
+// must equal Size). The schedule decides how hard the switch suffers.
+func (p *Proc) Alltoallv(bytesTo []int, algo AlltoallvAlgorithm) error {
+	if len(bytesTo) != p.size {
+		return fmt.Errorf("simmpi: alltoallv counts length %d != size %d", len(bytesTo), p.size)
+	}
+	return p.Collective("alltoallv", func() error {
+		switch algo {
+		case AlltoallvPairwise:
+			for off := 1; off < p.size; off++ {
+				dst := (p.rank + off) % p.size
+				src := (p.rank - off + p.size) % p.size
+				if err := p.Send(dst, tagAlltoall+off, bytesTo[dst]); err != nil {
+					return err
+				}
+				if err := p.Recv(src, tagAlltoall+off); err != nil {
+					return err
+				}
+			}
+			return nil
+		default: // AlltoallvLinear
+			for dst := 0; dst < p.size; dst++ {
+				if dst == p.rank {
+					continue
+				}
+				if err := p.Send(dst, tagAlltoall, bytesTo[dst]); err != nil {
+					return err
+				}
+			}
+			for src := 0; src < p.size; src++ {
+				if src == p.rank {
+					continue
+				}
+				if err := p.Recv(src, tagAlltoall); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+}
+
+// Allgather distributes bytes from every rank to every rank (ring
+// algorithm: size-1 rounds of neighbour forwarding).
+func (p *Proc) Allgather(bytes int) error {
+	return p.Collective("allgather", func() error {
+		next := (p.rank + 1) % p.size
+		prev := (p.rank - 1 + p.size) % p.size
+		for round := 0; round < p.size-1; round++ {
+			if err := p.Send(next, tagAllgather+round, bytes); err != nil {
+				return err
+			}
+			if err := p.Recv(prev, tagAllgather+round); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Gather collects bytes from every rank at root (linear).
+func (p *Proc) Gather(root, bytes int) error {
+	return p.Collective("gather", func() error {
+		if p.rank == root {
+			for src := 0; src < p.size; src++ {
+				if src == root {
+					continue
+				}
+				if err := p.Recv(src, tagAllgather-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return p.Send(root, tagAllgather-1, bytes)
+	})
+}

@@ -1,0 +1,404 @@
+// Package simmpi is a deterministic, discrete-event MPI simulator: rank
+// programs written in Go run as goroutines against a simulated network
+// and advance a virtual clock instead of wall time. It provides the
+// substrate for the paper's scalability studies (Figures 3 and 4):
+// point-to-point messaging with eager and rendezvous protocols, and the
+// collectives the applications need, built from point-to-point exactly
+// like a real MPI implementation would.
+//
+// Determinism: a central scheduler executes communication events in
+// global (virtual time, rank) order; it only commits an event when every
+// live rank has declared its next operation, so link reservations happen
+// in causal order regardless of goroutine scheduling. Running the same
+// program twice produces bit-identical timings and traces.
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"montblanc/internal/network"
+	"montblanc/internal/trace"
+)
+
+// EagerThreshold is the message size above which transfers switch from
+// the eager protocol (fire-and-forget, can overflow switch buffers) to
+// receiver-paced rendezvous (immune to drops, extra handshake). 64 KiB
+// follows common MPI defaults of the era.
+const EagerThreshold = 64 << 10
+
+// Config describes one simulated job.
+type Config struct {
+	Ranks        int
+	Net          *network.Network
+	RanksPerNode int // default 1
+
+	// CoreFlopsPerSec is the per-rank sustained floating-point rate used
+	// by ComputeFlops. Default 1e9.
+	CoreFlopsPerSec float64
+
+	// SendOverhead is the CPU cost of posting a send (default 2us), on
+	// top of the memcpy at CopyBandwidth (default 600 MB/s).
+	SendOverhead  float64
+	CopyBandwidth float64
+
+	// CollectTrace enables interval/communication recording.
+	CollectTrace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = 1
+	}
+	if c.CoreFlopsPerSec <= 0 {
+		c.CoreFlopsPerSec = 1e9
+	}
+	if c.SendOverhead <= 0 {
+		c.SendOverhead = 2e-6
+	}
+	if c.CopyBandwidth <= 0 {
+		c.CopyBandwidth = 600e6
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Ranks <= 0 {
+		return errors.New("simmpi: need at least one rank")
+	}
+	if c.Net == nil {
+		return errors.New("simmpi: nil network")
+	}
+	if need := (c.Ranks + c.RanksPerNode - 1) / c.RanksPerNode; need > c.Net.NumNodes {
+		return fmt.Errorf("simmpi: %d ranks at %d per node need %d nodes, network has %d",
+			c.Ranks, c.RanksPerNode, need, c.Net.NumNodes)
+	}
+	return nil
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Seconds     float64 // makespan: latest rank finish time
+	RankSeconds []float64
+	Trace       *trace.Trace // nil unless CollectTrace
+	Drops       uint64       // network buffer overruns
+}
+
+type opKind int
+
+const (
+	opSend opKind = iota
+	opRecv
+	opExit
+)
+
+type op struct {
+	kind          opKind
+	rank          int
+	time          float64 // rank-local post time
+	src, dst, tag int
+	bytes         int
+	ready         float64 // completion time once executable
+	matched       bool    // recv only
+	matchedMsg    msg
+	err           error // exit only
+}
+
+type msg struct {
+	arrival float64
+	dropped bool
+	bytes   int
+}
+
+type mkey struct{ src, dst, tag int }
+
+type resumeMsg struct {
+	time    float64
+	dropped bool // recv only: the message was retransmitted en route
+}
+
+type world struct {
+	cfg    Config
+	opCh   chan *op
+	resume []chan resumeMsg
+	mail   map[mkey][]msg
+	comms  []trace.Comm
+}
+
+func (w *world) node(rank int) int { return rank / w.cfg.RanksPerNode }
+
+// Proc is the handle a rank program uses: its identity, virtual clock
+// and communication primitives.
+type Proc struct {
+	rank, size   int
+	now          float64
+	w            *world
+	tr           *trace.Trace
+	collSeq      map[string]int
+	droppedRecvs int // running count of retransmitted messages received
+}
+
+// Rank returns this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks.
+func (p *Proc) Size() int { return p.size }
+
+// Now returns the rank's virtual clock in seconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// Compute advances the virtual clock by seconds of local work.
+func (p *Proc) Compute(seconds float64, label string) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	start := p.now
+	p.now += seconds
+	p.record(trace.StateCompute, label, start)
+}
+
+// ComputeFlops advances the clock by flops at the configured core rate.
+func (p *Proc) ComputeFlops(flops float64, label string) {
+	p.Compute(flops/p.w.cfg.CoreFlopsPerSec, label)
+}
+
+func (p *Proc) record(kind trace.Kind, name string, start float64) {
+	if p.tr == nil {
+		return
+	}
+	p.tr.AddInterval(trace.Interval{
+		Rank: p.rank, Kind: kind, Name: name, Start: start, End: p.now,
+	})
+}
+
+// post submits an operation and blocks until the scheduler completes it,
+// returning the rank's new clock and the recv-drop flag.
+func (p *Proc) post(o *op) resumeMsg {
+	o.rank = p.rank
+	o.time = p.now
+	p.w.opCh <- o
+	return <-p.w.resume[p.rank]
+}
+
+// Send transmits bytes to rank dst with the given tag. It returns once
+// the local side is free again (eager) — delivery happens in the
+// background at network speed.
+func (p *Proc) Send(dst, tag, bytes int) error {
+	if dst < 0 || dst >= p.size {
+		return fmt.Errorf("simmpi: send to invalid rank %d", dst)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("simmpi: negative send size %d", bytes)
+	}
+	start := p.now
+	p.now = p.post(&op{kind: opSend, dst: dst, tag: tag, bytes: bytes}).time
+	p.record(trace.StateSend, fmt.Sprintf("send->%d", dst), start)
+	return nil
+}
+
+// Recv blocks until a message from src with the given tag arrives.
+func (p *Proc) Recv(src, tag int) error {
+	if src < 0 || src >= p.size {
+		return fmt.Errorf("simmpi: recv from invalid rank %d", src)
+	}
+	start := p.now
+	r := p.post(&op{kind: opRecv, src: src, tag: tag, ready: math.Inf(1)})
+	p.now = r.time
+	if r.dropped {
+		p.droppedRecvs++
+	}
+	p.record(trace.StateRecv, fmt.Sprintf("recv<-%d", src), start)
+	return nil
+}
+
+// Collective wraps body in a named collective interval; the instance
+// name carries a per-rank sequence number so the same call site groups
+// across ranks ("alltoallv#3"). The interval records how many of the
+// rank's receives inside the collective were retransmitted — the
+// Figure 4 congestion evidence.
+func (p *Proc) Collective(name string, body func() error) error {
+	seq := p.collSeq[name]
+	p.collSeq[name] = seq + 1
+	start := p.now
+	dropsBefore := p.droppedRecvs
+	err := body()
+	if p.tr != nil {
+		p.tr.AddInterval(trace.Interval{
+			Rank: p.rank, Kind: trace.StateCollective,
+			Name: fmt.Sprintf("%s#%d", name, seq), Start: start, End: p.now,
+			Dropped: p.droppedRecvs - dropsBefore,
+		})
+	}
+	return err
+}
+
+// Run executes body on every rank of a fresh world and returns the
+// report. Any rank error aborts with that error (lowest rank wins).
+func Run(cfg Config, body func(*Proc) error) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	w := &world{
+		cfg:    cfg,
+		opCh:   make(chan *op),
+		resume: make([]chan resumeMsg, cfg.Ranks),
+		mail:   map[mkey][]msg{},
+	}
+	procs := make([]*Proc, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		w.resume[r] = make(chan resumeMsg, 1)
+		p := &Proc{rank: r, size: cfg.Ranks, w: w, collSeq: map[string]int{}}
+		if cfg.CollectTrace {
+			p.tr = trace.New(cfg.Ranks)
+		}
+		procs[r] = p
+		go func(p *Proc) {
+			var err error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("rank body panicked: %v", r)
+					}
+				}()
+				err = body(p)
+			}()
+			p.w.opCh <- &op{kind: opExit, rank: p.rank, time: p.now, err: err}
+		}(p)
+	}
+
+	pending := map[int]*op{}
+	endTimes := make([]float64, cfg.Ranks)
+	rankErrs := make([]error, cfg.Ranks)
+	live := cfg.Ranks
+	netErr := error(nil)
+
+	for live > 0 && netErr == nil {
+		for len(pending) < live {
+			o := <-w.opCh
+			switch o.kind {
+			case opSend, opExit:
+				o.ready = o.time
+			case opRecv:
+				w.tryMatch(o)
+			}
+			pending[o.rank] = o
+		}
+		// Pick the executable op with the smallest (ready, rank).
+		var best *op
+		for r := 0; r < cfg.Ranks; r++ {
+			o, ok := pending[r]
+			if !ok || math.IsInf(o.ready, 1) {
+				continue
+			}
+			if best == nil || o.ready < best.ready {
+				best = o
+			}
+		}
+		if best == nil {
+			return nil, deadlockError(pending)
+		}
+		delete(pending, best.rank)
+		switch best.kind {
+		case opSend:
+			res, err := w.deliver(best)
+			if err != nil {
+				netErr = err
+				break
+			}
+			key := mkey{best.rank, best.dst, best.tag}
+			m := msg{arrival: res.Arrival, dropped: res.Dropped, bytes: best.bytes}
+			w.mail[key] = append(w.mail[key], m)
+			if cfg.CollectTrace {
+				w.comms = append(w.comms, trace.Comm{
+					Src: best.rank, Dst: best.dst, Tag: best.tag, Bytes: best.bytes,
+					Sent: best.time, Arrived: res.Arrival, Dropped: res.Dropped,
+				})
+			}
+			// A parked recv may now be satisfiable.
+			if ro, ok := pending[best.dst]; ok && ro.kind == opRecv && !ro.matched {
+				w.tryMatch(ro)
+			}
+			overhead := cfg.SendOverhead + float64(best.bytes)/cfg.CopyBandwidth
+			w.resume[best.rank] <- resumeMsg{time: best.time + overhead}
+		case opRecv:
+			copyCost := float64(best.matchedMsg.bytes) / cfg.CopyBandwidth
+			w.resume[best.rank] <- resumeMsg{
+				time:    best.ready + copyCost,
+				dropped: best.matchedMsg.dropped,
+			}
+		case opExit:
+			live--
+			endTimes[best.rank] = best.time
+			rankErrs[best.rank] = best.err
+		}
+	}
+	if netErr != nil {
+		return nil, netErr
+	}
+	for r, err := range rankErrs {
+		if err != nil {
+			return nil, fmt.Errorf("simmpi: rank %d: %w", r, err)
+		}
+	}
+
+	rep := &Report{RankSeconds: endTimes, Drops: cfg.Net.Drops()}
+	for _, t := range endTimes {
+		if t > rep.Seconds {
+			rep.Seconds = t
+		}
+	}
+	if cfg.CollectTrace {
+		tr := trace.New(cfg.Ranks)
+		for _, p := range procs {
+			tr.Merge(p.tr)
+		}
+		tr.Comms = append(tr.Comms, w.comms...)
+		tr.Sort()
+		rep.Trace = tr
+	}
+	return rep, nil
+}
+
+// deliver pushes a send through the network, choosing eager or
+// rendezvous by size.
+func (w *world) deliver(o *op) (network.Result, error) {
+	opts := network.SendOptions{FlowControlled: o.bytes > EagerThreshold}
+	return w.cfg.Net.SendOpts(o.time, w.node(o.rank), w.node(o.dst), o.bytes, opts)
+}
+
+// tryMatch completes a pending recv against the mailbox if possible.
+func (w *world) tryMatch(o *op) {
+	key := mkey{o.src, o.rank, o.tag}
+	q := w.mail[key]
+	if len(q) == 0 {
+		return
+	}
+	m := q[0]
+	if len(q) == 1 {
+		delete(w.mail, key)
+	} else {
+		w.mail[key] = q[1:]
+	}
+	o.matched = true
+	o.matchedMsg = m
+	o.ready = math.Max(o.time, m.arrival)
+}
+
+func deadlockError(pending map[int]*op) error {
+	lowest := -1
+	for r := range pending {
+		if lowest == -1 || r < lowest {
+			lowest = r
+		}
+	}
+	if lowest == -1 {
+		return errors.New("simmpi: deadlock with no pending operations")
+	}
+	o := pending[lowest]
+	return fmt.Errorf("simmpi: deadlock: rank %d waiting on recv from %d tag %d (and %d more ranks blocked)",
+		o.rank, o.src, o.tag, len(pending)-1)
+}

@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"montblanc/internal/units"
+)
+
+// buildXeon builds the Figure 2a topology: Xeon 5550, 12GB, one socket,
+// shared 8MB L3, four cores each with 256KB L2 and 32KB L1.
+func buildXeon() *Object {
+	m := NewMachine(12 * units.GiB)
+	s := NewSocket(0)
+	l3 := NewCache(3, 8*units.MiB)
+	for i := 0; i < 4; i++ {
+		l2 := NewCache(2, 256*units.KiB)
+		l1 := NewCache(1, 32*units.KiB)
+		core := NewCore(i).Add(NewPU(i))
+		l1.Add(core)
+		l2.Add(l1)
+		l3.Add(l2)
+	}
+	s.Add(l3)
+	m.Add(s)
+	return m
+}
+
+// buildA9500 builds the Figure 2b topology: A9500, 796MB, one socket,
+// shared 512KB L2, two cores each with 32KB L1.
+func buildA9500() *Object {
+	m := NewMachine(796 * units.MiB)
+	s := NewSocket(0)
+	l2 := NewCache(2, 512*units.KiB)
+	for i := 0; i < 2; i++ {
+		l1 := NewCache(1, 32*units.KiB)
+		l1.Add(NewCore(i).Add(NewPU(i)))
+		l2.Add(l1)
+	}
+	s.Add(l2)
+	m.Add(s)
+	return m
+}
+
+func TestXeonTopologyShape(t *testing.T) {
+	m := buildXeon()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Count(Core); got != 4 {
+		t.Errorf("Xeon cores = %d, want 4", got)
+	}
+	if got := m.Count(PU); got != 4 {
+		t.Errorf("Xeon PUs = %d, want 4 (hyperthreading disabled)", got)
+	}
+	if got := len(m.FindCaches(3)); got != 1 {
+		t.Errorf("Xeon L3 count = %d, want 1", got)
+	}
+	if got := len(m.FindCaches(2)); got != 4 {
+		t.Errorf("Xeon L2 count = %d, want 4 (private)", got)
+	}
+	if got := len(m.FindCaches(1)); got != 4 {
+		t.Errorf("Xeon L1 count = %d, want 4", got)
+	}
+}
+
+func TestA9500TopologyShape(t *testing.T) {
+	m := buildA9500()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Count(Core); got != 2 {
+		t.Errorf("A9500 cores = %d, want 2", got)
+	}
+	if got := len(m.FindCaches(3)); got != 0 {
+		t.Errorf("A9500 L3 count = %d, want 0", got)
+	}
+	if got := len(m.FindCaches(2)); got != 1 {
+		t.Errorf("A9500 L2 count = %d, want 1 (shared)", got)
+	}
+	l2 := m.FindCaches(2)[0]
+	if l2.Size != 512*units.KiB {
+		t.Errorf("A9500 L2 size = %d, want 512KiB", l2.Size)
+	}
+}
+
+func TestRenderContainsLabels(t *testing.T) {
+	out := buildXeon().Render()
+	for _, want := range []string{
+		"Machine (12GiB)", "Socket P#0", "L3 (8MiB)", "L2 (256KiB)",
+		"L1 (32KiB)", "Core P#3", "PU P#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderIndentationReflectsDepth(t *testing.T) {
+	out := buildA9500().Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "+--") {
+		t.Errorf("root not at depth 0: %q", lines[0])
+	}
+	// PU lines must be the deepest.
+	maxIndent, puIndent := 0, 0
+	for _, l := range lines {
+		ind := len(l) - len(strings.TrimLeft(l, " "))
+		if ind > maxIndent {
+			maxIndent = ind
+		}
+		if strings.Contains(l, "PU P#") {
+			puIndent = ind
+		}
+	}
+	if puIndent != maxIndent {
+		t.Errorf("PU depth %d != max depth %d", puIndent, maxIndent)
+	}
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	bad1 := NewSocket(0)
+	if _, ok := interface{}(bad1).(*Object); !ok {
+		t.Fatal("construction failed")
+	}
+	if err := bad1.Validate(); err == nil {
+		t.Error("non-machine root accepted")
+	}
+
+	dupPU := NewMachine(units.GiB)
+	dupPU.Add(NewCore(0).Add(NewPU(0)), NewCore(1).Add(NewPU(0)))
+	if err := dupPU.Validate(); err == nil {
+		t.Error("duplicate PU indices accepted")
+	}
+
+	nested := NewMachine(units.GiB)
+	inner := NewCache(1, 32*units.KiB)
+	inner.Add(NewCache(2, 256*units.KiB).Add(NewPU(0)))
+	nested.Add(inner)
+	if err := nested.Validate(); err == nil {
+		t.Error("L2 nested under L1 accepted")
+	}
+
+	puKids := NewMachine(units.GiB)
+	p := NewPU(0)
+	p.Add(NewCore(1))
+	puKids.Add(p)
+	if err := puKids.Validate(); err == nil {
+		t.Error("PU with children accepted")
+	}
+
+	zeroCache := NewMachine(units.GiB)
+	zeroCache.Add(NewCache(1, 0).Add(NewPU(0)))
+	if err := zeroCache.Validate(); err == nil {
+		t.Error("zero-size cache accepted")
+	}
+}
+
+func TestWalkDepths(t *testing.T) {
+	m := buildA9500()
+	depths := map[Kind]int{}
+	m.Walk(func(o *Object, d int) { depths[o.Kind] = d })
+	if depths[Machine] != 0 || depths[Socket] != 1 || depths[PU] <= depths[Core] {
+		t.Errorf("unexpected depths: %v", depths)
+	}
+}
+
+func TestPUsOrder(t *testing.T) {
+	m := buildXeon()
+	pus := m.PUs()
+	if len(pus) != 4 {
+		t.Fatalf("PUs = %d, want 4", len(pus))
+	}
+	for i, pu := range pus {
+		if pu.Index != i {
+			t.Errorf("PU order: got P#%d at position %d", pu.Index, i)
+		}
+	}
+}

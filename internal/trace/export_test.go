@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportCSV(t *testing.T) {
+	tr := New(2)
+	tr.AddInterval(Interval{Rank: 0, Kind: StateCompute, Name: "work,1", Start: 0, End: 1})
+	tr.AddInterval(Interval{Rank: 1, Kind: StateCollective, Name: "alltoallv#0", Start: 1, End: 2, Dropped: 3})
+	tr.AddComm(Comm{Src: 0, Dst: 1, Tag: 5, Bytes: 100, Sent: 0.5, Arrived: 0.75, Dropped: true})
+
+	var buf bytes.Buffer
+	if err := tr.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 states + 1 comm
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "record,rank,kind,name,start,end,dropped" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Commas in names are escaped so the CSV stays rectangular.
+	if strings.Contains(lines[1], "work,1") {
+		t.Errorf("unescaped comma in %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "alltoallv#0") || !strings.HasSuffix(lines[2], ",3") {
+		t.Errorf("collective row wrong: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "comm,0,send,1:5:100") || !strings.HasSuffix(lines[3], ",1") {
+		t.Errorf("comm row wrong: %q", lines[3])
+	}
+	// Every row has the same number of fields.
+	for _, l := range lines {
+		if got := strings.Count(l, ","); got != 6 {
+			t.Errorf("row %q has %d commas, want 6", l, got)
+		}
+	}
+}
+
+func TestExportCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(0).ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Errorf("empty trace exported %d lines, want header only", lines)
+	}
+}

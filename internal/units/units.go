@@ -1,0 +1,98 @@
+// Package units provides size, rate and operation-count helpers shared by
+// the simulators and reports. All quantities are SI unless the name says
+// otherwise (KiB/MiB are binary).
+package units
+
+import "fmt"
+
+// Binary sizes in bytes.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// Decimal rates (per second, per watt, ...).
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+	Peta = 1e15
+	Exa  = 1e18
+)
+
+// Bytes formats a byte count with a binary suffix (B, KiB, MiB, GiB).
+func Bytes(n int64) string {
+	switch {
+	case n >= GiB:
+		return trim(float64(n)/GiB, "GiB")
+	case n >= MiB:
+		return trim(float64(n)/MiB, "MiB")
+	case n >= KiB:
+		return trim(float64(n)/KiB, "KiB")
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Flops formats a floating-point-operations-per-second rate with a
+// decimal suffix (FLOPS, MFLOPS, GFLOPS, TFLOPS, PFLOPS, EFLOPS).
+func Flops(v float64) string {
+	switch {
+	case v >= Exa:
+		return trim(v/Exa, "EFLOPS")
+	case v >= Peta:
+		return trim(v/Peta, "PFLOPS")
+	case v >= Tera:
+		return trim(v/Tera, "TFLOPS")
+	case v >= Giga:
+		return trim(v/Giga, "GFLOPS")
+	case v >= Mega:
+		return trim(v/Mega, "MFLOPS")
+	case v >= Kilo:
+		return trim(v/Kilo, "KFLOPS")
+	default:
+		return trim(v, "FLOPS")
+	}
+}
+
+// Rate formats a generic per-second rate with decimal suffixes.
+func Rate(v float64, unit string) string {
+	switch {
+	case v >= Giga:
+		return trim(v/Giga, "G"+unit)
+	case v >= Mega:
+		return trim(v/Mega, "M"+unit)
+	case v >= Kilo:
+		return trim(v/Kilo, "K"+unit)
+	default:
+		return trim(v, unit)
+	}
+}
+
+// Seconds formats a duration given in seconds using an adaptive unit.
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return trim(s, "s")
+	case s >= 1e-3:
+		return trim(s*1e3, "ms")
+	case s >= 1e-6:
+		return trim(s*1e6, "us")
+	default:
+		return trim(s*1e9, "ns")
+	}
+}
+
+func trim(v float64, suffix string) string {
+	s := fmt.Sprintf("%.2f", v)
+	// Drop trailing zeros and a dangling decimal point for compactness.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + suffix
+}

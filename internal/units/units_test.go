@@ -1,0 +1,72 @@
+package units
+
+import "testing"
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1024, "1KiB"},
+		{32 * KiB, "32KiB"},
+		{50 * KiB, "50KiB"},
+		{8 * MiB, "8MiB"},
+		{12 * GiB, "12GiB"},
+		{1536, "1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFlops(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{620e6, "620MFLOPS"},
+		{24e9, "24GFLOPS"},
+		{1e18, "1EFLOPS"},
+		{0.7e15, "700TFLOPS"},
+		{950, "950FLOPS"},
+		{1500, "1.5KFLOPS"},
+	}
+	for _, c := range cases {
+		if got := Flops(c.in); got != c.want {
+			t.Errorf("Flops(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(5877, "ops/s"); got != "5.88Kops/s" {
+		t.Errorf("Rate = %q", got)
+	}
+	if got := Rate(42, "ops/s"); got != "42ops/s" {
+		t.Errorf("Rate = %q", got)
+	}
+	if got := Rate(4.52e6, "nps"); got != "4.52Mnps" {
+		t.Errorf("Rate = %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{186.8, "186.8s"},
+		{0.0235, "23.5ms"},
+		{1e-5, "10us"},
+		{3e-9, "3ns"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
