@@ -5,7 +5,11 @@
 package montblanc
 
 import (
+	"io"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"montblanc/internal/apps/bigdft"
 	"montblanc/internal/apps/chess"
@@ -380,6 +384,48 @@ func BenchmarkAblationAlltoallvSchedule(b *testing.B) {
 		pairwise = run(simmpi.AlltoallvPairwise)
 	}
 	b.ReportMetric(linear/pairwise, "linear-vs-pairwise")
+}
+
+// --- Experiment runner --------------------------------------------------------
+
+// BenchmarkRunAllSequential regenerates the full quick suite on one
+// worker: the historical baseline.
+func BenchmarkRunAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAllParallel(io.Discard, experiments.Options{Quick: true}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sequentialBaseline measures one sequential quick-suite run, once per
+// process: the benchmark framework re-invokes the function at every
+// b.N escalation and the baseline must not be re-paid (or re-randomized)
+// each time.
+var sequentialBaseline = sync.OnceValues(func() (time.Duration, error) {
+	start := time.Now()
+	err := experiments.RunAllParallel(io.Discard, experiments.Options{Quick: true}, 1)
+	return time.Since(start), err
+})
+
+// BenchmarkRunAllParallel regenerates the quick suite on a full worker
+// pool and reports the wall-clock speedup over the measured sequential
+// baseline; the byte-identical-output property is asserted by the
+// tests in internal/experiments.
+func BenchmarkRunAllParallel(b *testing.B) {
+	sequential, err := sequentialBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAllParallel(io.Discard, experiments.Options{Quick: true}, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(sequential.Seconds()/perOp.Seconds(), "speedup-vs-sequential")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // --- Auto-tuning harness ------------------------------------------------------

@@ -4,65 +4,181 @@
 //
 // Usage:
 //
-//	montblanc list             # show available experiments
-//	montblanc table2           # reproduce one table/figure
-//	montblanc all              # reproduce everything
-//	montblanc -quick all       # smaller instances, seconds instead of minutes
-//	montblanc -seed 7 fig5     # override the deterministic seed
+//	montblanc list               # show available experiments
+//	montblanc table2             # reproduce one table/figure
+//	montblanc all                # reproduce everything
+//	montblanc fig1 table2        # several at once (headed sections)
+//	montblanc 'fig3*'            # glob over experiment IDs
+//	montblanc -quick all         # smaller instances, seconds instead of minutes
+//	montblanc -seed 7 fig5       # override the deterministic seed
+//	montblanc -parallel 4 all    # worker-pool execution, same bytes out
+//	montblanc -json 'fig*'       # structured results for downstream tooling
+//	montblanc -time all          # per-experiment timing summary on stderr
+//
+// Experiments run concurrently on -parallel workers (default
+// GOMAXPROCS), each into a private buffer; output is emitted in ID
+// order, so stdout is byte-identical for any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sort"
+	"time"
 
 	"montblanc/internal/experiments"
+	"montblanc/internal/report"
+	"montblanc/internal/runner"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run reduced-size instances")
-	seed := flag.Uint64("seed", 0, "override the default deterministic seed (0 = default)")
-	flag.Usage = usage
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		usage()
-		os.Exit(2)
-	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	arg := flag.Arg(0)
-	switch arg {
-	case "list":
-		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
-		}
-	case "all":
-		if err := experiments.RunAll(os.Stdout, opts); err != nil {
-			fatal(err)
-		}
-	default:
-		e, ok := experiments.Find(arg)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "montblanc: unknown experiment %q (try 'montblanc list')\n", arg)
-			os.Exit(2)
-		}
-		if err := e.Run(os.Stdout, opts); err != nil {
-			fatal(err)
-		}
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: montblanc [-quick] [-seed N] <experiment|list|all>
+// run is main without the process-global bits, so tests can drive the
+// CLI in-process. It returns the exit code: 0 ok, 1 experiment failure,
+// 2 usage or unknown experiment.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("montblanc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run reduced-size instances")
+	seed := fs.Uint64("seed", 0, "override the default deterministic seed (0 = default)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "number of concurrent experiment workers")
+	jsonOut := fs.Bool("json", false, "emit results as a JSON array instead of rendered text")
+	timing := fs.Bool("time", false, "print a per-experiment timing summary to stderr")
+	fs.Usage = func() { usage(stderr, fs) }
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return 2
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+
+	for _, arg := range fs.Args() {
+		if arg != "list" {
+			continue
+		}
+		if fs.NArg() > 1 {
+			fmt.Fprintln(stderr, "montblanc: 'list' cannot be combined with experiment arguments")
+			return 2
+		}
+		if *jsonOut {
+			type entry struct {
+				ID    string `json:"id"`
+				Title string `json:"title"`
+			}
+			entries := make([]entry, 0, len(experiments.All()))
+			for _, e := range experiments.All() {
+				entries = append(entries, entry{ID: e.ID, Title: e.Title})
+			}
+			if err := report.EncodeJSON(stdout, entries); err != nil {
+				fmt.Fprintln(stderr, "montblanc:", err)
+				return 1
+			}
+			return 0
+		}
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	selected, err := experiments.Match(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "montblanc: %v (try 'montblanc list')\n", err)
+		return 2
+	}
+
+	var results []runner.Result
+	if *timing {
+		defer func() { writeTimings(stderr, results) }()
+	}
+
+	if *jsonOut {
+		// A JSON array is inherently buffered: collect, then encode.
+		results = experiments.Results(selected, opts, *parallel)
+		if err := report.EncodeJSON(stdout, results); err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 1
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// A single experiment named exactly keeps the historical raw output
+	// (no section header), written straight to stdout as it renders.
+	if len(selected) == 1 && fs.NArg() == 1 && fs.Arg(0) == selected[0].ID {
+		e := selected[0]
+		start := time.Now()
+		err := e.Run(stdout, opts)
+		results = []runner.Result{{ID: e.ID, Title: e.Title, Duration: time.Since(start), Err: err}}
+		if err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Anything wider streams headed sections in ID order as they
+	// complete, while later experiments still compute.
+	streamed, err := experiments.Stream(stdout, selected, opts, *parallel)
+	results = streamed
+	if err != nil {
+		fmt.Fprintln(stderr, "montblanc:", err)
+		return 1
+	}
+	return 0
+}
+
+// writeTimings renders a per-experiment wall-clock summary, slowest
+// first, to w.
+func writeTimings(w io.Writer, results []runner.Result) {
+	sorted := append([]runner.Result(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Duration > sorted[j].Duration
+	})
+	tab := &report.Table{
+		Title:   "timing summary (per-experiment wall clock)",
+		Headers: []string{"experiment", "seconds", "status"},
+	}
+	var total float64
+	for _, r := range sorted {
+		status := "ok"
+		if r.Err != nil {
+			status = "error"
+		}
+		tab.AddRow(r.ID, r.Duration.Seconds(), status)
+		total += r.Duration.Seconds()
+	}
+	tab.AddRow("total (cpu)", total, "")
+	io.WriteString(w, tab.String())
+}
+
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintf(w, `usage: montblanc [flags] <experiment|pattern>... | list | all
 
 Reproduces the tables and figures of Stanisic et al., "Performance
 Analysis of HPC Applications on Low-Power Embedded Platforms" (DATE'13).
 
-`)
-	flag.PrintDefaults()
-}
+Arguments name experiments ('montblanc list'), glob over their IDs
+('fig*', 'table?'), or the keyword 'all'. Several may be given; each
+runs once, concurrently on -parallel workers, and output is emitted in
+ID order regardless of completion order.
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "montblanc:", err)
-	os.Exit(1)
+`)
+	fs.PrintDefaults()
 }

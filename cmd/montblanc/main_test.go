@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"montblanc/internal/experiments"
+	"montblanc/internal/runner"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(experiments.All()) {
+		t.Fatalf("%d lines, want %d", len(lines), len(experiments.All()))
+	}
+	for i, e := range experiments.All() {
+		if !strings.HasPrefix(lines[i], e.ID) || !strings.Contains(lines[i], e.Title) {
+			t.Errorf("line %d = %q, want %s + title", i, lines[i], e.ID)
+		}
+	}
+}
+
+func TestUnknownExperimentExitCode(t *testing.T) {
+	code, out, errOut := runCLI(t, "doesnotexist")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if out != "" {
+		t.Errorf("unexpected stdout %q", out)
+	}
+	if !strings.Contains(errOut, "doesnotexist") || !strings.Contains(errOut, "montblanc list") {
+		t.Errorf("stderr %q lacks the unknown-experiment hint", errOut)
+	}
+}
+
+func TestNoArgsUsageExitCode(t *testing.T) {
+	code, _, errOut := runCLI(t)
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "usage: montblanc") {
+		t.Errorf("stderr %q lacks usage", errOut)
+	}
+}
+
+func TestSingleExperimentRawOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "-quick", "table1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "====") {
+		t.Error("single-experiment output grew a section header")
+	}
+	if !strings.Contains(out, "Mont-Blanc selected HPC applications") {
+		t.Errorf("output %q missing table title", out)
+	}
+}
+
+func TestGlobSelectsHeadedSections(t *testing.T) {
+	code, out, _ := runCLI(t, "-quick", "fig3*")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"fig3a", "fig3b", "fig3c"} {
+		if !strings.Contains(out, "==== "+id+":") {
+			t.Errorf("missing section for %s", id)
+		}
+	}
+	if strings.Contains(out, "==== fig4") {
+		t.Error("glob fig3* leaked fig4")
+	}
+}
+
+func TestMultipleIDsRunOnce(t *testing.T) {
+	code, out, _ := runCLI(t, "-quick", "table1", "table*")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if n := strings.Count(out, "==== table1:"); n != 1 {
+		t.Errorf("table1 section appears %d times, want 1 (dedup)", n)
+	}
+	if !strings.Contains(out, "==== table2:") {
+		t.Error("missing table2 section")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	code, out, _ := runCLI(t, "-quick", "-json", "table1", "fig2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var results []runner.Result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	if results[0].ID != "fig2" || results[1].ID != "table1" {
+		t.Errorf("IDs %s,%s — want ID order fig2,table1", results[0].ID, results[1].ID)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+		}
+		if r.Output == "" {
+			t.Errorf("%s: empty output in JSON", r.ID)
+		}
+	}
+	// The rendered text must survive the round-trip byte-for-byte.
+	_, raw, _ := runCLI(t, "-quick", "table1")
+	if results[1].Output != raw {
+		t.Error("JSON output field differs from the raw rendering")
+	}
+	// And re-encoding parses to the same values.
+	again, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results2 []runner.Result
+	if err := json.Unmarshal(again, &results2); err != nil {
+		t.Fatal(err)
+	}
+	if results2[1].Output != results[1].Output || results2[0].ID != results[0].ID {
+		t.Error("second round-trip mangled results")
+	}
+}
+
+func TestParallelFlagOutputIdentical(t *testing.T) {
+	_, seq, _ := runCLI(t, "-quick", "-parallel", "1", "all")
+	for _, n := range []string{"2", "5", "8"} {
+		code, par, _ := runCLI(t, "-quick", "-parallel", n, "all")
+		if code != 0 {
+			t.Fatalf("-parallel %s exit %d", n, code)
+		}
+		if par != seq {
+			t.Errorf("-parallel %s stdout differs from -parallel 1 (%d vs %d bytes)",
+				n, len(par), len(seq))
+		}
+	}
+}
+
+func TestTimingSummaryOnStderr(t *testing.T) {
+	code, out, errOut := runCLI(t, "-quick", "-time", "table1", "fig2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "timing summary") {
+		t.Errorf("stderr %q lacks timing summary", errOut)
+	}
+	for _, id := range []string{"table1", "fig2", "total (cpu)"} {
+		if !strings.Contains(errOut, id) {
+			t.Errorf("timing summary missing %q", id)
+		}
+	}
+	if strings.Contains(out, "timing summary") {
+		t.Error("timing summary leaked onto stdout")
+	}
+}
+
+func TestBadFlagExitCode(t *testing.T) {
+	code, _, _ := runCLI(t, "-definitely-not-a-flag", "all")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestJSONList(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", "list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var entries []struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatalf("-json list output is not valid JSON: %v", err)
+	}
+	if len(entries) != len(experiments.All()) {
+		t.Fatalf("%d entries, want %d", len(entries), len(experiments.All()))
+	}
+	for i, e := range experiments.All() {
+		if entries[i].ID != e.ID || entries[i].Title != e.Title {
+			t.Errorf("entry %d = %+v, want %s/%s", i, entries[i], e.ID, e.Title)
+		}
+	}
+}
+
+func TestListCombinedWithArgsRejected(t *testing.T) {
+	code, _, errOut := runCLI(t, "list", "fig1")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "cannot be combined") {
+		t.Errorf("stderr %q lacks the combination diagnostic", errOut)
+	}
+	if code, _, errOut = runCLI(t, "fig1", "list"); code != 2 || !strings.Contains(errOut, "cannot be combined") {
+		t.Errorf("list in later position: exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errOut := runCLI(t, "-help")
+	if code != 0 {
+		t.Errorf("-help exit %d, want 0", code)
+	}
+	if !strings.Contains(errOut, "usage: montblanc") {
+		t.Errorf("-help stderr %q lacks usage", errOut)
+	}
+}

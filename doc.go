@@ -4,6 +4,15 @@
 // x86 servers, from single-node energy ratios through cluster-scale
 // congestion pathologies to auto-tuned convolution kernels.
 //
+// Experiments execute on a deterministic worker pool
+// (internal/runner): each renders into a private buffer and results
+// are emitted in ID order, so `montblanc -parallel N all` produces the
+// same bytes for any N. The driver also accepts several experiment IDs
+// or glob patterns per invocation (`montblanc 'fig3*' table2`) and a
+// -json mode that emits structured results (id, title, seconds,
+// output, error) for downstream tooling. See internal/runner/RUNNER.md
+// for the architecture.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

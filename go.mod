@@ -1,0 +1,3 @@
+module montblanc
+
+go 1.24

@@ -8,7 +8,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"path"
+	"runtime"
 	"sort"
+	"time"
+
+	"montblanc/internal/runner"
 )
 
 // Options tunes experiment execution.
@@ -24,7 +29,11 @@ type Options struct {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, o Options) error
+	// Cost is a relative wall-clock weight used by the parallel runner
+	// to dispatch expensive experiments first (zero means 1). It has
+	// no effect on output order or content.
+	Cost int
+	Run  func(w io.Writer, o Options) error
 }
 
 var registry = map[string]Experiment{}
@@ -52,14 +61,161 @@ func Find(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// RunAll executes every experiment in ID order.
-func RunAll(w io.Writer, o Options) error {
-	for _, e := range All() {
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
-		if err := e.Run(w, o); err != nil {
-			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+// Match returns the experiments whose IDs match any of the given
+// arguments, in ID order without duplicates. An argument is an exact
+// ID, the keyword "all", or a path.Match glob pattern ("fig*"). It
+// returns an error naming the first argument that selects nothing.
+func Match(args ...string) ([]Experiment, error) {
+	picked := map[string]bool{}
+	for _, arg := range args {
+		switch {
+		case arg == "all":
+			for id := range registry {
+				picked[id] = true
+			}
+		case registry[arg].Run != nil:
+			picked[arg] = true
+		default:
+			matched := false
+			for id := range registry {
+				ok, err := path.Match(arg, id)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: bad pattern %q: %w", arg, err)
+				}
+				if ok {
+					picked[id] = true
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("experiments: unknown experiment %q", arg)
+			}
+		}
+	}
+	out := make([]Experiment, 0, len(picked))
+	for id := range picked {
+		out = append(out, registry[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// task adapts an experiment to the runner.
+func (e Experiment) task(o Options) runner.Task {
+	return runner.Task{
+		ID:     e.ID,
+		Title:  e.Title,
+		Weight: e.Cost,
+		Run:    func(w io.Writer) error { return e.Run(w, o) },
+	}
+}
+
+// Results executes the given experiments on a pool of `workers`
+// concurrent workers (<= 0 means GOMAXPROCS) and returns structured
+// results in input order. Errors are carried per result; every
+// experiment runs regardless of other failures.
+func Results(es []Experiment, o Options, workers int) []runner.Result {
+	tasks := make([]runner.Task, len(es))
+	for i, e := range es {
+		tasks[i] = e.task(o)
+	}
+	p := runner.Pool{Workers: workers}
+	return p.Run(tasks)
+}
+
+// sectionHeader is the historical RunAll section banner; every path
+// that renders headed sections must use it so output stays
+// byte-identical across the buffered and direct-write paths.
+const sectionHeader = "==== %s: %s ====\n"
+
+// emitSection writes one headed result section (banner, the rendered
+// output, a trailing blank line). A failed result keeps its partial
+// output and banner but no trailing blank line, exactly as the old
+// sequential loop left the stream; the returned error carries the
+// same wrapping.
+func emitSection(w io.Writer, r runner.Result) error {
+	fmt.Fprintf(w, sectionHeader, r.ID, r.Title)
+	io.WriteString(w, r.Output)
+	if r.Err != nil {
+		return fmt.Errorf("experiments: %s: %w", r.ID, r.Err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Write renders headed result sections to w, stopping at the first
+// failed result.
+func Write(w io.Writer, results []runner.Result) error {
+	for _, r := range results {
+		if err := emitSection(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stream executes the given experiments on `workers` concurrent
+// workers (<= 0 means GOMAXPROCS), writing each headed section to w in
+// ID order as soon as it and all its predecessors finish — long suites
+// start printing while the tail still computes. It returns the results
+// emitted so far (on the single-worker path the Output field is empty:
+// bytes went straight to w). On failure it stops at the first (in ID
+// order) failed experiment, matching sequential semantics: experiments
+// already started run to completion, not-yet-started ones are skipped.
+func Stream(w io.Writer, es []Experiment, o Options, workers int) ([]runner.Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return streamSequential(w, es, o)
+	}
+	tasks := make([]runner.Task, len(es))
+	for i, e := range es {
+		tasks[i] = e.task(o)
+	}
+	p := runner.Pool{Workers: workers}
+	results := make([]runner.Result, 0, len(tasks))
+	var failed error
+	p.Stream(tasks, func(r runner.Result) bool {
+		results = append(results, r)
+		failed = emitSection(w, r)
+		return failed == nil
+	})
+	return results, failed
+}
+
+// streamSequential is the one-worker path: experiments write to w
+// directly as they render (no per-task buffer), so output appears
+// progressively *within* an experiment, like the historical loop.
+// Same bytes as the pooled path, just sooner.
+func streamSequential(w io.Writer, es []Experiment, o Options) ([]runner.Result, error) {
+	results := make([]runner.Result, 0, len(es))
+	for _, e := range es {
+		fmt.Fprintf(w, sectionHeader, e.ID, e.Title)
+		start := time.Now()
+		err := e.Run(w, o)
+		results = append(results, runner.Result{
+			ID: e.ID, Title: e.Title, Duration: time.Since(start), Err: err,
+		})
+		if err != nil {
+			return results, fmt.Errorf("experiments: %s: %w", e.ID, err)
 		}
 		fmt.Fprintln(w)
 	}
-	return nil
+	return results, nil
+}
+
+// RunAll executes every experiment and writes headed sections in ID
+// order. Output is byte-identical to the historical sequential loop.
+func RunAll(w io.Writer, o Options) error {
+	return RunAllParallel(w, o, 1)
+}
+
+// RunAllParallel is RunAll on `workers` concurrent workers (<= 0 means
+// GOMAXPROCS). Each experiment renders into its own buffer and
+// sections stream out in ID order, so output does not depend on the
+// worker count.
+func RunAllParallel(w io.Writer, o Options, workers int) error {
+	_, err := Stream(w, All(), o, workers)
+	return err
 }

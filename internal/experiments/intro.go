@@ -14,10 +14,10 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig1", Title: "TOP500 exponential growth and the exaflop projection", Run: runFig1})
-	register(Experiment{ID: "table1", Title: "Mont-Blanc selected HPC applications", Run: runTable1})
-	register(Experiment{ID: "fig2", Title: "Memory topologies of the Xeon X5550 and the A9500", Run: runFig2})
-	register(Experiment{ID: "table2", Title: "Snowball vs Xeon X5550 single-node comparison", Run: runTable2})
+	register(Experiment{ID: "fig1", Title: "TOP500 exponential growth and the exaflop projection", Cost: 1, Run: runFig1})
+	register(Experiment{ID: "table1", Title: "Mont-Blanc selected HPC applications", Cost: 1, Run: runTable1})
+	register(Experiment{ID: "fig2", Title: "Memory topologies of the Xeon X5550 and the A9500", Cost: 1, Run: runFig2})
+	register(Experiment{ID: "table2", Title: "Snowball vs Xeon X5550 single-node comparison", Cost: 1, Run: runTable2})
 }
 
 // Fig1Result bundles the Figure 1 analysis for tests and rendering.

@@ -14,6 +14,7 @@ func init() {
 	register(Experiment{
 		ID:    "locality",
 		Title: "§V.A: temporal/spatial locality profile of the stride kernel",
+		Cost:  100, // the largest working-set sweep: dominates the suite's wall-clock
 		Run:   runLocality,
 	})
 }

@@ -15,10 +15,10 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig5", Title: "Impact of real-time priority on Snowball bandwidth", Run: runFig5})
-	register(Experiment{ID: "fig6", Title: "Influence of element width and unrolling on bandwidth", Run: runFig6})
-	register(Experiment{ID: "fig7", Title: "Magicfilter auto-tuning: cycles and cache accesses vs unroll", Run: runFig7})
-	register(Experiment{ID: "pagealloc", Title: "Physical page allocation and run-to-run reproducibility", Run: runPageAlloc})
+	register(Experiment{ID: "fig5", Title: "Impact of real-time priority on Snowball bandwidth", Cost: 15, Run: runFig5})
+	register(Experiment{ID: "fig6", Title: "Influence of element width and unrolling on bandwidth", Cost: 6, Run: runFig6})
+	register(Experiment{ID: "fig7", Title: "Magicfilter auto-tuning: cycles and cache accesses vs unroll", Cost: 8, Run: runFig7})
+	register(Experiment{ID: "pagealloc", Title: "Physical page allocation and run-to-run reproducibility", Cost: 12, Run: runPageAlloc})
 }
 
 // Fig5Result is the RT-scheduler study outcome.

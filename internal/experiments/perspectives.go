@@ -13,6 +13,7 @@ func init() {
 	register(Experiment{
 		ID:    "perspectives",
 		Title: "§VI: hybrid Mont-Blanc node efficiency vs the exaflop barrier",
+		Cost:  1,
 		Run:   runPerspectives,
 	})
 }

@@ -13,10 +13,10 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig3a", Title: "Strong scaling of LINPACK on Tibidabo", Run: runFig3a})
-	register(Experiment{ID: "fig3b", Title: "Strong scaling of SPECFEM3D on Tibidabo", Run: runFig3b})
-	register(Experiment{ID: "fig3c", Title: "Strong scaling of BigDFT on Tibidabo", Run: runFig3c})
-	register(Experiment{ID: "fig4", Title: "Profiling of BigDFT on Tibidabo using 36 cores", Run: runFig4})
+	register(Experiment{ID: "fig3a", Title: "Strong scaling of LINPACK on Tibidabo", Cost: 40, Run: runFig3a})
+	register(Experiment{ID: "fig3b", Title: "Strong scaling of SPECFEM3D on Tibidabo", Cost: 10, Run: runFig3b})
+	register(Experiment{ID: "fig3c", Title: "Strong scaling of BigDFT on Tibidabo", Cost: 20, Run: runFig3c})
+	register(Experiment{ID: "fig4", Title: "Profiling of BigDFT on Tibidabo using 36 cores", Cost: 35, Run: runFig4})
 }
 
 func renderScaling(w io.Writer, title string, points []cluster.SpeedupPoint) {

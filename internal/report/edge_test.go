@@ -1,0 +1,151 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFormatFloatEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0, "0"},
+		{-0.0, "0"},
+		{1e9, "1000000000"},      // at the integer cutoff: falls to the >=1000 branch
+		{2.5e9, "2500000000"},    // large non-integers lose the fraction, not digits
+		{-1e12, "-1000000000000"},
+		{1e18, "1000000000000000000"},
+		{999.994, "999.99"},
+		{1234.5, "1234"},  // >=1000: rounded to integer (1234.5 rounds to even)
+		{1, "1"},
+		{-1.005, "-1.00"},
+		{0.00004, "0.0000"}, // underflows the 4-decimal format
+		{-0.5, "-0.5000"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableNonFiniteCells(t *testing.T) {
+	tab := &Table{Headers: []string{"metric", "value"}}
+	tab.AddRow("nan", math.NaN())
+	tab.AddRow("inf", math.Inf(1))
+	tab.AddRow("neginf", math.Inf(-1))
+	tab.AddRow("huge", 3.2e9)
+	out := tab.String()
+	for _, want := range []string{"NaN", "+Inf", "-Inf", "3200000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment still holds with the odd-width cells.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("ragged table with non-finite cells:\n%s", out)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tab Table
+	out := tab.String() // must not panic
+	if out == "" {
+		t.Error("empty table rendered nothing at all")
+	}
+	tab2 := Table{Headers: []string{"a", "b"}}
+	out2 := tab2.String()
+	if !strings.Contains(out2, "| a ") || !strings.Contains(out2, "| b ") {
+		t.Errorf("headers-only table lost its headers:\n%s", out2)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}}
+	tab.AddRow("x", "extra1", "extra2")
+	tab.AddRow("y")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("rows wider than headers break alignment:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "extra2") {
+		t.Errorf("overflow cells dropped:\n%s", out)
+	}
+}
+
+func TestChartSkipsNonFinitePoints(t *testing.T) {
+	ch := &Chart{Width: 20, Height: 8}
+	ch.Add("data", 'o',
+		[]float64{1, 2, math.NaN(), 4, 5},
+		[]float64{1, math.Inf(1), 3, 4, 5})
+	out := ch.String() // must not panic on int(NaN) grid indices
+	// Ranges come from the finite points only: x 1..5, y 1..5.
+	if !strings.Contains(out, "x: 1 .. 5") || !strings.Contains(out, "y: 1 .. 5") {
+		t.Errorf("non-finite points corrupted the scale:\n%s", out)
+	}
+	// The chart with bad points dropped equals the chart of only the
+	// finite points.
+	clean := &Chart{Width: 20, Height: 8}
+	clean.Add("data", 'o', []float64{1, 4, 5}, []float64{1, 4, 5})
+	if out != clean.String() {
+		t.Errorf("skipping non-finite points changed the finite rendering:\n%s\nvs\n%s",
+			out, clean.String())
+	}
+}
+
+func TestChartAllNonFinite(t *testing.T) {
+	ch := &Chart{Title: "void", Width: 10, Height: 4}
+	ch.Add("bad", 'x',
+		[]float64{math.NaN(), math.Inf(1)},
+		[]float64{math.Inf(-1), math.NaN()})
+	if out := ch.String(); !strings.Contains(out, "no data") {
+		t.Errorf("all-non-finite chart = %q, want no-data notice", out)
+	}
+}
+
+func TestChartHugeValues(t *testing.T) {
+	ch := &Chart{Width: 16, Height: 6}
+	ch.Add("big", 'B', []float64{0, 1e9, 2e9}, []float64{0, 5e9, 1e10})
+	out := ch.String() // values >= 1e9 must still render and label
+	if !strings.Contains(out, "2000000000") || !strings.Contains(out, "10000000000") {
+		t.Errorf("axis labels lost large magnitudes:\n%s", out)
+	}
+	if !strings.Contains(out, "B") {
+		t.Errorf("points missing:\n%s", out)
+	}
+}
+
+func TestEncodeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	v := map[string]string{"html": "<table> & co"}
+	if err := EncodeJSON(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("no trailing newline")
+	}
+	if strings.Contains(out, `\u003c`) {
+		t.Errorf("HTML escaping on: %q", out)
+	}
+	var back map[string]string
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["html"] != v["html"] {
+		t.Errorf("round-trip %q, want %q", back["html"], v["html"])
+	}
+}

@@ -1,0 +1,17 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EncodeJSON writes v as indented JSON with a trailing newline, for
+// the machine-readable output modes of the drivers. Unlike the default
+// encoder it does not escape <, >, & — the output is for terminals and
+// tooling, not HTML.
+func EncodeJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -131,6 +131,11 @@ func (c *Chart) String() string {
 	points := 0
 	for _, s := range c.Series {
 		for i := range s.X {
+			// Non-finite points cannot be placed on a finite grid:
+			// skip them here and below rather than corrupt the scale.
+			if !finitePoint(s.X[i], s.Y[i]) {
+				continue
+			}
 			points++
 			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
 			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
@@ -151,8 +156,11 @@ func (c *Chart) String() string {
 	}
 	for _, s := range c.Series {
 		for i := range s.X {
-			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
-			row := int((s.Y[i] - minY) / (maxY - minY) * float64(h-1))
+			if !finitePoint(s.X[i], s.Y[i]) {
+				continue
+			}
+			col := clamp(int((s.X[i]-minX)/(maxX-minX)*float64(w-1)), 0, w-1)
+			row := clamp(int((s.Y[i]-minY)/(maxY-minY)*float64(h-1)), 0, h-1)
 			r := h - 1 - row
 			if grid[r][col] == ' ' || grid[r][col] == s.Marker {
 				grid[r][col] = s.Marker
@@ -179,6 +187,20 @@ func (c *Chart) String() string {
 	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", w))
 	fmt.Fprintf(&b, "   %s: %s .. %s\n", orDefault(c.XLabel, "x"), formatFloat(minX), formatFloat(maxX))
 	return b.String()
+}
+
+func finitePoint(x, y float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && !math.IsNaN(y) && !math.IsInf(y, 0)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 func orDefault(s, d string) string {

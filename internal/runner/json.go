@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"encoding/json"
+	"math"
+	"time"
+)
+
+// jsonResult is the wire form of a Result: the error flattened to a
+// string and the duration to seconds, so downstream tooling needs no
+// Go-specific decoding.
+type jsonResult struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	Output  string  `json:"output"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// MarshalJSON renders the result in its wire form.
+func (r Result) MarshalJSON() ([]byte, error) {
+	jr := jsonResult{
+		ID:      r.ID,
+		Title:   r.Title,
+		Seconds: r.Duration.Seconds(),
+		Output:  r.Output,
+	}
+	if r.Err != nil {
+		jr.Error = r.Err.Error()
+	}
+	return json.Marshal(jr)
+}
+
+// UnmarshalJSON parses the wire form back into a Result (the error
+// becomes a plain errors.New of the recorded message).
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var jr jsonResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return err
+	}
+	*r = Result{
+		ID:       jr.ID,
+		Title:    jr.Title,
+		Output:   jr.Output,
+		Duration: secondsToDuration(jr.Seconds),
+	}
+	if jr.Error != "" {
+		r.Err = &recordedError{jr.Error}
+	}
+	return nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	// Round, don't truncate: most durations are not exactly
+	// representable as float seconds (0.3s*1e9 = 299999999.999…ns) and
+	// truncation would lose a nanosecond on every round-trip.
+	return time.Duration(math.Round(s * float64(time.Second)))
+}
+
+type recordedError struct{ msg string }
+
+func (e *recordedError) Error() string { return e.msg }
