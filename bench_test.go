@@ -428,6 +428,62 @@ func BenchmarkRunAllParallel(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
+// lookupAllPlatforms resolves every registered platform for the sweep
+// benchmarks.
+func lookupAllPlatforms() ([]*platform.Platform, error) {
+	names := platform.Names()
+	ps := make([]*platform.Platform, 0, len(names))
+	for _, n := range names {
+		p, err := platform.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// sweepSequentialBaseline measures one single-worker cross-platform
+// sweep, once per process (same rationale as sequentialBaseline).
+var sweepSequentialBaseline = sync.OnceValues(func() (time.Duration, error) {
+	ps, err := lookupAllPlatforms()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	_, err = core.RunSweep(ps, core.TableIIWorkloads(), 1)
+	return time.Since(start), err
+})
+
+// BenchmarkSweepParallel dispatches the N platforms x M workloads
+// matrix on a full worker pool and reports cell throughput plus the
+// wall-clock speedup over the measured single-worker baseline.
+func BenchmarkSweepParallel(b *testing.B) {
+	sequential, err := sweepSequentialBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := lookupAllPlatforms()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := core.TableIIWorkloads()
+	b.ResetTimer()
+	var s *core.Sweep
+	for i := 0; i < b.N; i++ {
+		s, err = core.RunSweep(ps, ws, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	cells := len(ps) * len(ws)
+	b.ReportMetric(float64(cells)/perOp.Seconds(), "cells/s")
+	b.ReportMetric(sequential.Seconds()/perOp.Seconds(), "speedup-vs-sequential")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(s.Ratio(0, s.RefIndex("Snowball"), s.RefIndex("XeonX5550")), "linpack-snowball-ratio")
+}
+
 // --- Auto-tuning harness ------------------------------------------------------
 
 func BenchmarkAutotuneExhaustive(b *testing.B) {

@@ -5,15 +5,20 @@
 // Usage:
 //
 //	montblanc list               # show available experiments
+//	montblanc platforms          # show registered machine models
 //	montblanc table2             # reproduce one table/figure
 //	montblanc all                # reproduce everything
 //	montblanc fig1 table2        # several at once (headed sections)
 //	montblanc 'fig3*'            # glob over experiment IDs
+//	montblanc 'sweep*'           # cross-platform sweeps over every machine
 //	montblanc -quick all         # smaller instances, seconds instead of minutes
 //	montblanc -seed 7 fig5       # override the deterministic seed
 //	montblanc -parallel 4 all    # worker-pool execution, same bytes out
 //	montblanc -json 'fig*'       # structured results for downstream tooling
 //	montblanc -time all          # per-experiment timing summary on stderr
+//
+//	montblanc -platform Snowball,ThunderX2 'sweep*'   # restrict sweep set
+//	montblanc -platform-file mymachine.json 'sweep*'  # add machines from JSON specs
 //
 // Experiments run concurrently on -parallel workers (default
 // GOMAXPROCS), each into a private buffer; output is emitted in ID
@@ -28,9 +33,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"montblanc/internal/experiments"
+	"montblanc/internal/platform"
 	"montblanc/internal/report"
 	"montblanc/internal/runner"
 )
@@ -50,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "number of concurrent experiment workers")
 	jsonOut := fs.Bool("json", false, "emit results as a JSON array instead of rendered text")
 	timing := fs.Bool("time", false, "print a per-experiment timing summary to stderr")
+	platNames := fs.String("platform", "", "comma-separated registered platforms the sweep* experiments cover (default: all)")
+	platFile := fs.String("platform-file", "", "JSON platform spec file to register before running (one spec or an array)")
 	fs.Usage = func() { usage(stderr, fs) }
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -62,7 +71,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+
+	if *platFile != "" {
+		names, err := platform.LoadSpecFile(*platFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "montblanc: registered %s from %s\n",
+			strings.Join(names, ", "), *platFile)
+	}
+
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *platNames != "" {
+		for _, name := range strings.Split(*platNames, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := platform.Lookup(name); err != nil {
+				fmt.Fprintf(stderr, "montblanc: %v (try 'montblanc platforms')\n", err)
+				return 2
+			}
+			opts.Platforms = append(opts.Platforms, name)
+		}
+	}
+
+	for _, arg := range fs.Args() {
+		if arg != "platforms" {
+			continue
+		}
+		if fs.NArg() > 1 {
+			fmt.Fprintln(stderr, "montblanc: 'platforms' cannot be combined with experiment arguments")
+			return 2
+		}
+		return listPlatforms(stdout, stderr, opts.Platforms, *jsonOut)
+	}
 
 	for _, arg := range fs.Args() {
 		if arg != "list" {
@@ -144,6 +188,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// listPlatforms renders the `platforms` mode: the registered machine
+// models (optionally restricted by -platform), one per line as text, or
+// the full serializable specs under -json.
+func listPlatforms(stdout, stderr io.Writer, selected []string, jsonOut bool) int {
+	names := selected
+	if len(names) == 0 {
+		names = platform.Names()
+	}
+	if jsonOut {
+		specs := make([]platform.Spec, 0, len(names))
+		for _, n := range names {
+			s, ok := platform.LookupSpec(n)
+			if !ok {
+				fmt.Fprintf(stderr, "montblanc: unknown platform %q\n", n)
+				return 2
+			}
+			specs = append(specs, s)
+		}
+		if err := report.EncodeJSON(stdout, specs); err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 1
+		}
+		return 0
+	}
+	for _, n := range names {
+		p, err := platform.Lookup(n)
+		if err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%-14s %s\n", p.Name, p.String())
+	}
+	return 0
+}
+
 // writeTimings renders a per-experiment wall-clock summary, slowest
 // first, to w.
 func writeTimings(w io.Writer, results []runner.Result) {
@@ -169,15 +248,19 @@ func writeTimings(w io.Writer, results []runner.Result) {
 }
 
 func usage(w io.Writer, fs *flag.FlagSet) {
-	fmt.Fprintf(w, `usage: montblanc [flags] <experiment|pattern>... | list | all
+	fmt.Fprintf(w, `usage: montblanc [flags] <experiment|pattern>... | list | platforms | all
 
 Reproduces the tables and figures of Stanisic et al., "Performance
 Analysis of HPC Applications on Low-Power Embedded Platforms" (DATE'13).
 
 Arguments name experiments ('montblanc list'), glob over their IDs
-('fig*', 'table?'), or the keyword 'all'. Several may be given; each
-runs once, concurrently on -parallel workers, and output is emitted in
-ID order regardless of completion order.
+('fig*', 'table?', 'sweep*'), or the keyword 'all'. Several may be
+given; each runs once, concurrently on -parallel workers, and output is
+emitted in ID order regardless of completion order.
+
+'montblanc platforms' lists the registered machine models the sweep*
+experiments compare; -platform restricts that set and -platform-file
+registers additional machines from a JSON spec file.
 
 `)
 	fs.PrintDefaults()

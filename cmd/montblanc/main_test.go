@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"montblanc/internal/experiments"
+	"montblanc/internal/platform"
 	"montblanc/internal/runner"
 )
 
@@ -210,6 +215,126 @@ func TestListCombinedWithArgsRejected(t *testing.T) {
 	}
 	if code, _, errOut = runCLI(t, "fig1", "list"); code != 2 || !strings.Contains(errOut, "cannot be combined") {
 		t.Errorf("list in later position: exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestPlatformsMode(t *testing.T) {
+	code, out, _ := runCLI(t, "platforms")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("%d platforms listed, want >= 6:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"Snowball", "XeonX5550", "Tegra2", "Exynos5Dual", "MontBlancNode", "ThunderX2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("platforms output missing %q", want)
+		}
+	}
+	// -platform restricts and orders the listing.
+	code, out, _ = runCLI(t, "-platform", "XeonX5550,Snowball", "platforms")
+	if code != 0 {
+		t.Fatalf("restricted exit %d", code)
+	}
+	lines = strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "XeonX5550") || !strings.HasPrefix(lines[1], "Snowball") {
+		t.Errorf("restricted platforms = %q, want XeonX5550 then Snowball", out)
+	}
+}
+
+func TestPlatformsModeJSON(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", "platforms")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var specs []platform.Spec
+	if err := json.Unmarshal([]byte(out), &specs); err != nil {
+		t.Fatalf("-json platforms output invalid: %v", err)
+	}
+	if len(specs) < 6 {
+		t.Fatalf("%d specs, want >= 6", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("emitted spec %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestPlatformsCombinedWithArgsRejected(t *testing.T) {
+	code, _, errOut := runCLI(t, "platforms", "fig1")
+	if code != 2 || !strings.Contains(errOut, "cannot be combined") {
+		t.Errorf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUnknownPlatformFlag(t *testing.T) {
+	code, _, errOut := runCLI(t, "-platform", "PDP-11", "sweep-matrix")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "PDP-11") || !strings.Contains(errOut, "montblanc platforms") {
+		t.Errorf("stderr %q lacks the unknown-platform hint", errOut)
+	}
+}
+
+func TestPlatformFlagRestrictsSweep(t *testing.T) {
+	code, out, _ := runCLI(t, "-quick", "-platform", "Snowball,XeonX5550", "sweep-matrix")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "across 2 platforms") {
+		t.Errorf("sweep not restricted to 2 platforms:\n%s", out)
+	}
+	if strings.Contains(out, "ThunderX2") {
+		t.Error("excluded platform leaked into the sweep")
+	}
+}
+
+// cliBoardCounter keeps file-registered test machines unique across
+// repeated in-process runs (`go test -count=N`): the registry is
+// global and permanent.
+var cliBoardCounter atomic.Int64
+
+func TestPlatformFileRegistersAndSweeps(t *testing.T) {
+	spec, ok := platform.LookupSpec("Snowball")
+	if !ok {
+		t.Fatal("Snowball spec missing")
+	}
+	spec.Name = fmt.Sprintf("CLIBoard%d", cliBoardCounter.Add(1))
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "board.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-quick", "-platform-file", path,
+		"-platform", spec.Name+",XeonX5550", "sweep-energy")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "registered "+spec.Name) {
+		t.Errorf("stderr %q lacks registration note", errOut)
+	}
+	if !strings.Contains(out, spec.Name) {
+		t.Errorf("sweep output missing the file-defined machine:\n%s", out)
+	}
+}
+
+func TestPlatformFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-platform-file", path, "sweep-matrix")
+	if code != 2 || !strings.Contains(errOut, "parsing") {
+		t.Errorf("exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ = runCLI(t, "-platform-file", filepath.Join(t.TempDir(), "absent.json"), "all"); code != 2 {
+		t.Errorf("missing spec file: exit %d, want 2", code)
 	}
 }
 

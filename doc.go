@@ -13,6 +13,16 @@
 // output, error) for downstream tooling. See internal/runner/RUNNER.md
 // for the architecture.
 //
+// Machines are data: internal/platform holds a registry of
+// serializable specs (the paper's four platforms plus successor Arm
+// generations calibrated from the related work), listed by `montblanc
+// platforms` and extensible at runtime from JSON files via `montblanc
+// -platform-file`. The sweep* experiment family runs the Table II
+// workload matrix and energy-to-solution comparison across every
+// registered platform, dispatching the N x M cells as weighted tasks
+// on the same runner; -platform restricts the sweep set. PLATFORMS.md
+// documents every spec's calibration sources.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

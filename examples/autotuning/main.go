@@ -16,7 +16,7 @@ import (
 const points = 4096
 
 func main() {
-	for _, p := range []*platform.Platform{platform.XeonX5550(), platform.Tegra2Node()} {
+	for _, p := range []*platform.Platform{platform.MustLookup("XeonX5550"), platform.MustLookup("Tegra2")} {
 		fmt.Printf("=== %s ===\n", p.Name)
 		objective := func(cfg autotune.Config) (float64, error) {
 			r, err := magicfilter.MeasureVariant(p, points, cfg["unroll"])

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	snowball := platform.Snowball()
+	snowball := platform.MustLookup("Snowball")
 
 	fmt.Println("1) Physical page allocation (§V.A.1)")
 	fmt.Println("   32KB array = exactly the L1; 4-way L1 has two page colours.")

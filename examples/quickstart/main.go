@@ -13,8 +13,8 @@ import (
 )
 
 func main() {
-	snowball := platform.Snowball()
-	xeon := platform.XeonX5550()
+	snowball := platform.MustLookup("Snowball")
+	xeon := platform.MustLookup("XeonX5550")
 	fmt.Println("Platforms under test:")
 	fmt.Println("  *", snowball)
 	fmt.Println("  *", xeon)

@@ -106,12 +106,14 @@ func negamax(b *Board, depth, alpha, beta int, nodes *uint64, best *Move, root b
 // --- Table II model ----------------------------------------------------
 
 // instrPerNode is the calibrated machine-instruction cost of visiting
-// one search node. The x86-64 build works on native 64-bit bitboards;
+// one search node. A 64-bit build works on native 64-bit bitboards;
 // the ARMv7 build emulates every 64-bit operation with instruction
-// pairs, roughly two and a third times the work. Calibration targets
-// Table II: 224113 nodes/s on the Snowball, 4521733 on the Xeon.
+// pairs, roughly two and a third times the work — so the tax keys on
+// the ISA's word width, and aarch64 platforms pay the native cost.
+// Calibration targets Table II: 224113 nodes/s on the Snowball,
+// 4521733 on the Xeon.
 func instrPerNode(isa platform.ISA) float64 {
-	if isa == platform.X8664 {
+	if isa.Bits() == 64 {
 		return 3647
 	}
 	return 8478

@@ -234,12 +234,14 @@ const FlopsPerElemStep = 5000
 // Fortran build: gfortran 4.6 emits scalar code, so the Xeon runs far
 // below its SSE peak and the Snowball's single-precision VFP is not
 // NEON-vectorized either (softfp ABI). Calibrated against Table II:
-// 186.8 s vs 23.5 s.
+// 186.8 s vs 23.5 s. The 0.35 figure is the ARMv7 softfp penalty; a
+// hard-float aarch64 toolchain has no such handicap, so 64-bit
+// platforms land in the server scalar class.
 func scalarFlopsPerCycle(p *platform.Platform) float64 {
-	if p.ISA == platform.X8664 {
-		return 0.45
+	if p.ISA == platform.ARM32 {
+		return 0.35
 	}
-	return 0.35
+	return 0.45
 }
 
 // Table II instance characteristics: single-precision flop volume and

@@ -13,15 +13,16 @@ import (
 	"montblanc/internal/units"
 )
 
-// Config describes one cache level.
+// Config describes one cache level. The JSON tags define the wire form
+// used by platform spec files (see internal/platform.Spec).
 type Config struct {
-	Name          string // e.g. "L1d"
-	Level         int    // 1-based
-	Size          int    // bytes, power of two
-	LineSize      int    // bytes, power of two
-	Associativity int    // ways; Size/LineSize must be divisible by it
-	HitLatency    int    // cycles for a hit at this level
-	Shared        bool   // informational: shared between cores
+	Name          string `json:"name"`          // e.g. "L1d"
+	Level         int    `json:"level"`         // 1-based
+	Size          int    `json:"size"`          // bytes, power of two
+	LineSize      int    `json:"line_size"`     // bytes, power of two
+	Associativity int    `json:"associativity"` // ways; Size/LineSize must be divisible by it
+	HitLatency    int    `json:"hit_latency"`   // cycles for a hit at this level
+	Shared        bool   `json:"shared"`        // informational: shared between cores
 }
 
 // Validate reports configuration errors.

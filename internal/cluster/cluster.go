@@ -34,9 +34,13 @@ func Tibidabo(nodes int) (*Cluster, error) {
 	} else {
 		net = network.Tree(nodes, 32)
 	}
+	node, err := platform.Lookup("Tegra2")
+	if err != nil {
+		return nil, err
+	}
 	return &Cluster{
 		Name:  fmt.Sprintf("tibidabo-%d", nodes),
-		Node:  platform.Tegra2Node(),
+		Node:  node,
 		Nodes: nodes,
 		Net:   net,
 	}, nil

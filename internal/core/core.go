@@ -56,9 +56,13 @@ const (
 
 // Workload is one benchmark of the single-node study.
 type Workload struct {
-	Name    string
-	Metric  Metric
-	Unit    string
+	Name   string
+	Metric Metric
+	Unit   string
+	// Cost is a relative wall-clock weight hint used when workloads are
+	// dispatched as parallel sweep tasks (zero means 1); it never
+	// affects values or output order.
+	Cost    int
 	Measure func(p *platform.Platform) (float64, error)
 }
 
@@ -67,31 +71,31 @@ type Workload struct {
 func TableIIWorkloads() []Workload {
 	return []Workload{
 		{
-			Name: "LINPACK", Metric: Rate, Unit: "MFLOPS",
+			Name: "LINPACK", Metric: Rate, Unit: "MFLOPS", Cost: 2,
 			Measure: func(p *platform.Platform) (float64, error) {
 				return linpack.Mflops(p), nil
 			},
 		},
 		{
-			Name: "CoreMark", Metric: Rate, Unit: "ops/s",
+			Name: "CoreMark", Metric: Rate, Unit: "ops/s", Cost: 1,
 			Measure: func(p *platform.Platform) (float64, error) {
 				return coremark.Score(p), nil
 			},
 		},
 		{
-			Name: "StockFish", Metric: Rate, Unit: "ops/s",
+			Name: "StockFish", Metric: Rate, Unit: "ops/s", Cost: 1,
 			Measure: func(p *platform.Platform) (float64, error) {
 				return chess.NodesPerSecond(p), nil
 			},
 		},
 		{
-			Name: "SPECFEM3D", Metric: Time, Unit: "s",
+			Name: "SPECFEM3D", Metric: Time, Unit: "s", Cost: 2,
 			Measure: func(p *platform.Platform) (float64, error) {
 				return specfem.SmallInstanceTime(p), nil
 			},
 		},
 		{
-			Name: "BigDFT", Metric: Time, Unit: "s",
+			Name: "BigDFT", Metric: Time, Unit: "s", Cost: 2,
 			Measure: func(p *platform.Platform) (float64, error) {
 				return bigdft.SmallInstanceTime(p), nil
 			},
@@ -160,5 +164,6 @@ func CompareAll(ws []Workload, candidate, reference *platform.Platform) ([]Compa
 // TableII produces the paper's Table II: Snowball vs Xeon X5550 on the
 // five workloads.
 func TableII() ([]Comparison, error) {
-	return CompareAll(TableIIWorkloads(), platform.Snowball(), platform.XeonX5550())
+	return CompareAll(TableIIWorkloads(),
+		platform.MustLookup("Snowball"), platform.MustLookup("XeonX5550"))
 }

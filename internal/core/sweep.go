@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"montblanc/internal/platform"
+	"montblanc/internal/power"
+	"montblanc/internal/runner"
+)
+
+// Sweep is the cross-platform measurement matrix: every workload
+// evaluated on every platform. It generalizes Table II (one candidate
+// against one reference) to the N-machine comparisons of the follow-on
+// Arm generation studies.
+type Sweep struct {
+	Platforms []*platform.Platform
+	Workloads []Workload
+	// Values[wi][pi] is workload wi measured on platform pi, in the
+	// workload's unit.
+	Values [][]float64
+}
+
+// RunSweep measures every workload on every platform, dispatching the
+// N x M cells as weighted tasks on the parallel runner (heavier
+// workloads first, LPT). Each cell writes to its own matrix slot, so
+// results are identical for any worker count (<= 0 means GOMAXPROCS).
+func RunSweep(ps []*platform.Platform, ws []Workload, workers int) (*Sweep, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("core: sweep needs at least one platform")
+	}
+	if len(ws) == 0 {
+		return nil, errors.New("core: sweep needs at least one workload")
+	}
+	values := make([][]float64, len(ws))
+	for i := range values {
+		values[i] = make([]float64, len(ps))
+	}
+	tasks := make([]runner.Task, 0, len(ws)*len(ps))
+	for wi := range ws {
+		for pi := range ps {
+			wi, pi := wi, pi
+			w, p := ws[wi], ps[pi]
+			tasks = append(tasks, runner.Task{
+				ID:     w.Name + "/" + p.Name,
+				Title:  fmt.Sprintf("%s on %s", w.Name, p.Name),
+				Weight: w.Cost,
+				Run: func(io.Writer) error {
+					v, err := w.Measure(p)
+					if err != nil {
+						return err
+					}
+					if v <= 0 {
+						return fmt.Errorf("non-positive measurement %g", v)
+					}
+					values[wi][pi] = v
+					return nil
+				},
+			})
+		}
+	}
+	pool := runner.Pool{Workers: workers}
+	for _, r := range pool.Run(tasks) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("core: sweep %s: %w", r.ID, r.Err)
+		}
+	}
+	return &Sweep{Platforms: ps, Workloads: ws, Values: values}, nil
+}
+
+// RefIndex returns the index of the named reference platform, or 0 (the
+// first platform) when absent — the Table II convention generalized:
+// ratios read "how far ahead is the reference".
+func (s *Sweep) RefIndex(name string) int {
+	for i, p := range s.Platforms {
+		if p.Name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// Ratio returns the reference platform's advantage on workload wi over
+// platform pi: reference/candidate for rates, candidate/reference for
+// times — >= 1 when the reference is faster, matching Table II.
+func (s *Sweep) Ratio(wi, pi, ref int) float64 {
+	c, r := s.Values[wi][pi], s.Values[wi][ref]
+	if s.Workloads[wi].Metric == Rate {
+		return r / c
+	}
+	return c / r
+}
+
+// EnergyRatio returns candidate energy over reference energy for the
+// same work on workload wi — below 1 means platform pi needs less
+// energy than the reference, the paper's "Energy Ratio" column.
+func (s *Sweep) EnergyRatio(wi, pi, ref int) float64 {
+	cand, refP := s.Platforms[pi], s.Platforms[ref]
+	cv, rv := s.Values[wi][pi], s.Values[wi][ref]
+	if s.Workloads[wi].Metric == Rate {
+		return power.EnergyRatioByRate(cand.Power, cv, refP.Power, rv)
+	}
+	return power.EnergyRatioByTime(cand.Power, cv, refP.Power, rv)
+}
+
+// Energy returns the energy-to-solution figure of cell (wi, pi):
+// joules per unit of work for rate workloads, joules for the whole
+// instance for time workloads.
+func (s *Sweep) Energy(wi, pi int) float64 {
+	p := s.Platforms[pi]
+	v := s.Values[wi][pi]
+	if s.Workloads[wi].Metric == Rate {
+		return p.Power.EnergyPerOp(v)
+	}
+	return p.Power.Energy(v)
+}
+
+// PairWins counts, for every ordered platform pair, the workloads on
+// which the row platform needs strictly less energy to solution than
+// the column platform. wins[i][i] is 0 by construction.
+func (s *Sweep) PairWins() [][]int {
+	n := len(s.Platforms)
+	wins := make([][]int, n)
+	for i := range wins {
+		wins[i] = make([]int, n)
+		for j := range wins[i] {
+			if i == j {
+				continue
+			}
+			for wi := range s.Workloads {
+				if s.Energy(wi, i) < s.Energy(wi, j) {
+					wins[i][j]++
+				}
+			}
+		}
+	}
+	return wins
+}

@@ -57,58 +57,59 @@ func widthIndex(w Width) int {
 	}
 }
 
-// Model is a first-order core timing model.
+// Model is a first-order core timing model. The JSON tags define the
+// wire form used by platform spec files (see internal/platform.Spec).
 type Model struct {
-	Name    string
-	ClockHz float64
+	Name    string  `json:"name"`
+	ClockHz float64 `json:"clock_hz"`
 
 	// LoadIssue[i] is the sustained issue cost in cycles of one load of
 	// Widths()[i]. On Nehalem one 128-bit load issues per cycle; on the
 	// A9 a 128-bit NEON load cracks into multiple slots and suffers
 	// alignment penalties, making it no better than 32-bit scalar code.
-	LoadIssue [3]float64
+	LoadIssue [3]float64 `json:"load_issue"`
 
 	// LoopOverhead is the per-iteration cost (compare, branch, index
 	// update) paid once per source-level loop iteration. Unrolling
 	// amortizes it.
-	LoopOverhead float64
+	LoopOverhead float64 `json:"loop_overhead"`
 
 	// Regs[i] is the number of architectural registers usable to hold
 	// in-flight loaded values of Widths()[i] before the compiler starts
 	// spilling. Out-of-order renaming makes the effective Nehalem file
 	// larger than its 16 architectural registers.
-	Regs [3]int
+	Regs [3]int `json:"regs"`
 
 	// SpillCost is the cycle cost per spilled value per iteration (one
 	// store + one reload hitting the store buffer / L1).
-	SpillCost float64
+	SpillCost float64 `json:"spill_cost"`
 
 	// MissOverlap is the fraction of beyond-L1 latency hidden by the
 	// memory pipeline (miss-under-miss, prefetch). Out-of-order Nehalem
 	// hides most of it; the in-order dual-issue A9 hides little.
-	MissOverlap float64
+	MissOverlap float64 `json:"miss_overlap"`
 
 	// Floating-point throughput per core in flops/cycle. The A9500's
 	// NEON is single-precision only, so DP work falls back to the
 	// non-pipelined VFP giving a dramatically lower DP figure —
 	// the paper's explanation for BigDFT's 23.2x slowdown.
-	FlopsPerCycleSP float64
-	FlopsPerCycleDP float64
+	FlopsPerCycleSP float64 `json:"flops_per_cycle_sp"`
+	FlopsPerCycleDP float64 `json:"flops_per_cycle_dp"`
 
 	// IntIPC is the sustained instructions-per-cycle on branchy integer
 	// code (CoreMark, chess search).
-	IntIPC float64
+	IntIPC float64 `json:"int_ipc"`
 
 	// SpillPipelineFactor scales how violently spills hurt. On the
 	// in-order A9 a spill stalls the pipeline; on Nehalem the store
 	// buffer absorbs it.
-	SpillPipelineFactor float64
+	SpillPipelineFactor float64 `json:"spill_pipeline_factor"`
 
 	// OutOfOrder marks cores with register renaming and a reorder
 	// window. In-order cores expose floating-point dependency latency
 	// directly, which is why unrolling (more independent accumulator
 	// chains) matters so much more on the Cortex-A9 (Figure 7).
-	OutOfOrder bool
+	OutOfOrder bool `json:"out_of_order"`
 }
 
 // Validate reports model configuration errors.
@@ -255,6 +256,44 @@ func CortexA9(name string) *Model {
 
 // A9500 returns the Snowball's ST-Ericsson A9500 core model.
 func A9500() *Model { return CortexA9("A9500") }
+
+// CortexA15 returns the out-of-order Cortex-A15 core model used by the
+// Exynos 5 Dual platforms (§VI and the deployed Mont-Blanc prototype):
+// 1.7 GHz, VFPv4 NEON with FMA (4 SP flops/cycle) and NEONv2 double
+// precision, a deeper pipeline that overlaps more of the miss latency
+// than the A9.
+func CortexA15() *Model {
+	m := CortexA9("CortexA15")
+	m.ClockHz = 1.7e9
+	m.OutOfOrder = true
+	m.MissOverlap = 0.6
+	m.IntIPC = 1.4
+	m.FlopsPerCycleSP = 4.0 // VFPv4 NEON with FMA
+	m.FlopsPerCycleDP = 1.0 // NEONv2 handles doubles
+	m.Regs = [3]int{14, 14, 8}
+	return m
+}
+
+// ThunderX2 returns the Marvell ThunderX2 CN99xx core model of the
+// Dibona cluster study (arXiv:2007.04868): 2.0 GHz Vulcan core, 4-wide
+// out-of-order, two 128-bit NEON units (8 SP / 4 DP flops/cycle with
+// FMA) and the large AArch64 register files that make unrolling safe.
+func ThunderX2() *Model {
+	return &Model{
+		Name:                "ThunderX2",
+		ClockHz:             2.0e9,
+		LoadIssue:           [3]float64{1.0, 1.0, 1.0}, // two load/store pipes
+		LoopOverhead:        2.0,
+		Regs:                [3]int{26, 26, 28}, // 31 GP / 32 NEON architectural
+		SpillCost:           1.0,
+		SpillPipelineFactor: 0.5,
+		MissOverlap:         0.8,
+		FlopsPerCycleSP:     8.0, // 2 x 128-bit NEON FMA
+		FlopsPerCycleDP:     4.0,
+		IntIPC:              1.3,
+		OutOfOrder:          true,
+	}
+}
 
 // Tegra2 returns the Tibidabo node's NVIDIA Tegra2 core model. Same
 // Cortex-A9 pipeline as the A9500 but without NEON: the Tegra2 omits the

@@ -23,6 +23,12 @@ type Options struct {
 	Quick bool
 	// Seed overrides the default deterministic seed (0 keeps defaults).
 	Seed uint64
+	// Platforms restricts the cross-platform sweep experiments to the
+	// named registered platforms, in the given order. Empty means every
+	// registered platform. Experiments reproducing a specific paper
+	// artifact ignore it: fig5 is a Snowball study whatever the sweep
+	// set says.
+	Platforms []string
 }
 
 // Experiment is a runnable reproduction of one paper artifact.
@@ -132,14 +138,22 @@ const sectionHeader = "==== %s: %s ====\n"
 // output, a trailing blank line). A failed result keeps its partial
 // output and banner but no trailing blank line, exactly as the old
 // sequential loop left the stream; the returned error carries the
-// same wrapping.
+// same wrapping. Writer errors are propagated so a broken pipe
+// (`montblanc all | head`) stops the suite instead of computing every
+// remaining experiment against a dead stream.
 func emitSection(w io.Writer, r runner.Result) error {
-	fmt.Fprintf(w, sectionHeader, r.ID, r.Title)
-	io.WriteString(w, r.Output)
+	if _, err := fmt.Fprintf(w, sectionHeader, r.ID, r.Title); err != nil {
+		return fmt.Errorf("experiments: writing %s section: %w", r.ID, err)
+	}
+	if _, err := io.WriteString(w, r.Output); err != nil {
+		return fmt.Errorf("experiments: writing %s section: %w", r.ID, err)
+	}
 	if r.Err != nil {
 		return fmt.Errorf("experiments: %s: %w", r.ID, r.Err)
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return fmt.Errorf("experiments: writing %s section: %w", r.ID, err)
+	}
 	return nil
 }
 
@@ -191,7 +205,9 @@ func Stream(w io.Writer, es []Experiment, o Options, workers int) ([]runner.Resu
 func streamSequential(w io.Writer, es []Experiment, o Options) ([]runner.Result, error) {
 	results := make([]runner.Result, 0, len(es))
 	for _, e := range es {
-		fmt.Fprintf(w, sectionHeader, e.ID, e.Title)
+		if _, err := fmt.Fprintf(w, sectionHeader, e.ID, e.Title); err != nil {
+			return results, fmt.Errorf("experiments: writing %s section: %w", e.ID, err)
+		}
 		start := time.Now()
 		err := e.Run(w, o)
 		results = append(results, runner.Result{
@@ -200,7 +216,9 @@ func streamSequential(w io.Writer, es []Experiment, o Options) ([]runner.Result,
 		if err != nil {
 			return results, fmt.Errorf("experiments: %s: %w", e.ID, err)
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return results, fmt.Errorf("experiments: writing %s section: %w", e.ID, err)
+		}
 	}
 	return results, nil
 }

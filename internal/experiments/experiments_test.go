@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4",
 		"fig5", "fig6", "fig7", "locality", "pagealloc",
-		"perspectives", "table1", "table2",
+		"perspectives", "sweep-energy", "sweep-matrix", "sweep-specs",
+		"table1", "table2",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -148,6 +150,82 @@ func TestRunAllQuick(t *testing.T) {
 	for _, id := range []string{"fig1", "table2", "fig7"} {
 		if !strings.Contains(out, "==== "+id) {
 			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+// brokenPipeWriter accepts `limit` bytes, then fails every write — the
+// `montblanc all | head` scenario.
+type brokenPipeWriter struct {
+	limit   int
+	written int
+}
+
+var errPipe = errors.New("broken pipe")
+
+func (w *brokenPipeWriter) Write(p []byte) (int, error) {
+	if w.written >= w.limit {
+		return 0, errPipe
+	}
+	n := len(p)
+	if w.written+n > w.limit {
+		n = w.limit - w.written
+	}
+	w.written += n
+	if n < len(p) {
+		return n, errPipe
+	}
+	return n, nil
+}
+
+// A dead downstream writer must stop the suite instead of silently
+// computing every remaining experiment — on both the sequential and the
+// pooled path.
+func TestWriterErrorStopsSuite(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		w := &brokenPipeWriter{limit: 64}
+		results, err := Stream(w, All(), Options{Quick: true}, workers)
+		if !errors.Is(err, errPipe) {
+			t.Errorf("workers=%d: err = %v, want the pipe error", workers, err)
+		}
+		if len(results) >= len(All()) {
+			t.Errorf("workers=%d: all %d experiments emitted despite a dead writer",
+				workers, len(results))
+		}
+	}
+}
+
+// The sweep family honors Options.Platforms, errors on unknown names,
+// and its inner parallel dispatch is worker-count independent.
+func TestSweepPlatformSelection(t *testing.T) {
+	sweep, _ := Find("sweep-matrix")
+	var restricted bytes.Buffer
+	err := sweep.Run(&restricted, Options{Platforms: []string{"Snowball", "XeonX5550"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(restricted.String(), "across 2 platforms") {
+		t.Error("sweep ignored Options.Platforms")
+	}
+	if strings.Contains(restricted.String(), "Tegra2") {
+		t.Error("excluded platform leaked into the sweep")
+	}
+	if err := sweep.Run(&bytes.Buffer{}, Options{Platforms: []string{"VAX"}}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	for _, id := range []string{"sweep-matrix", "sweep-energy", "sweep-specs"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		var full bytes.Buffer
+		if err := e.Run(&full, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"Snowball", "XeonX5550", "MontBlancNode", "ThunderX2"} {
+			if !strings.Contains(full.String(), name) {
+				t.Errorf("%s output missing %s", id, name)
+			}
 		}
 	}
 }

@@ -106,7 +106,7 @@ func runTable1(w io.Writer, _ Options) error {
 }
 
 func runFig2(w io.Writer, _ Options) error {
-	for _, p := range []*platform.Platform{platform.XeonX5550(), platform.Snowball()} {
+	for _, p := range []*platform.Platform{platform.MustLookup("XeonX5550"), platform.MustLookup("Snowball")} {
 		fmt.Fprintf(w, "%s topology (%s):\n", p.Name, p.String())
 		fmt.Fprint(w, p.Topology().Render())
 		fmt.Fprintf(w, "L1 page colours: %d\n\n", p.PageColors())
@@ -135,8 +135,8 @@ func runTable2(w io.Writer, _ Options) error {
 	}
 	fmt.Fprint(w, tab.String())
 	fmt.Fprintf(w, "power model: Snowball %.1fW (full USB budget) vs Xeon %.0fW (TDP)\n",
-		platform.Snowball().Power.Watts, platform.XeonX5550().Power.Watts)
+		platform.MustLookup("Snowball").Power.Watts, platform.MustLookup("XeonX5550").Power.Watts)
 	fmt.Fprintf(w, "Snowball RAM %s, Xeon RAM %s\n",
-		units.Bytes(platform.Snowball().RAMBytes), units.Bytes(platform.XeonX5550().RAMBytes))
+		units.Bytes(platform.MustLookup("Snowball").RAMBytes), units.Bytes(platform.MustLookup("XeonX5550").RAMBytes))
 	return nil
 }

@@ -33,7 +33,7 @@ func localitySizes(quick bool) []int {
 var localityStrides = []int{1, 2, 4, 8, 16}
 
 func runLocality(w io.Writer, o Options) error {
-	for _, p := range []*platform.Platform{platform.Snowball(), platform.XeonX5550()} {
+	for _, p := range []*platform.Platform{platform.MustLookup("Snowball"), platform.MustLookup("XeonX5550")} {
 		profile, err := membench.LocalityProfile(p, localitySizes(o.Quick), localityStrides)
 		if err != nil {
 			return err

@@ -39,7 +39,7 @@ func Fig5Data(o Options) (Fig5Result, error) {
 	if seed == 0 {
 		seed = fig5Seed
 	}
-	p := platform.Snowball()
+	p := platform.MustLookup("Snowball")
 	reps := 42
 	step := units.KiB
 	if o.Quick {
@@ -107,11 +107,11 @@ func runFig5(w io.Writer, o Options) error {
 
 // Fig6Data measures the optimization grid on both platforms.
 func Fig6Data() (xeon, snowball []membench.GridPoint, err error) {
-	xeon, err = membench.OptimizationGrid(platform.XeonX5550(), 50*units.KiB, []int{1, 8})
+	xeon, err = membench.OptimizationGrid(platform.MustLookup("XeonX5550"), 50*units.KiB, []int{1, 8})
 	if err != nil {
 		return nil, nil, err
 	}
-	snowball, err = membench.OptimizationGrid(platform.Snowball(), 50*units.KiB, []int{1, 8})
+	snowball, err = membench.OptimizationGrid(platform.MustLookup("Snowball"), 50*units.KiB, []int{1, 8})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -149,11 +149,11 @@ func Fig7Data(o Options) (nehalem, tegra []magicfilter.VariantResult, err error)
 	if o.Quick {
 		n = 2048
 	}
-	nehalem, err = magicfilter.SweepUnroll(platform.XeonX5550(), n, 12)
+	nehalem, err = magicfilter.SweepUnroll(platform.MustLookup("XeonX5550"), n, 12)
 	if err != nil {
 		return nil, nil, err
 	}
-	tegra, err = magicfilter.SweepUnroll(platform.Tegra2Node(), n, 12)
+	tegra, err = magicfilter.SweepUnroll(platform.MustLookup("Tegra2"), n, 12)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,7 +194,7 @@ type PageAllocResult struct {
 // PageAllocData measures run-to-run variance of a 32KB-array bandwidth
 // under both page-allocation policies on the Snowball.
 func PageAllocData(o Options) (PageAllocResult, error) {
-	p := platform.Snowball()
+	p := platform.MustLookup("Snowball")
 	runs := 16
 	if o.Quick {
 		runs = 6

@@ -36,8 +36,8 @@ const exynosNodeOverheadWatts = 10
 
 // PerspectivesData computes the §VI.A efficiency ladder.
 func PerspectivesData() PerspectivesResult {
-	tegra := platform.Tegra2Node()
-	exynos := platform.Exynos5Dual()
+	tegra := platform.MustLookup("Tegra2")
+	exynos := platform.MustLookup("Exynos5Dual")
 	return PerspectivesResult{
 		Tegra2GFperW: power.GFLOPSPerWatt(tegra.PeakFlops(true), tegra.Power.Watts),
 		Exynos5PeakGFperW: power.GFLOPSPerWatt(
@@ -51,7 +51,7 @@ func PerspectivesData() PerspectivesResult {
 
 func runPerspectives(w io.Writer, _ Options) error {
 	res := PerspectivesData()
-	exynos := platform.Exynos5Dual()
+	exynos := platform.MustLookup("Exynos5Dual")
 	fmt.Fprintln(w, "§VI perspectives: toward hybrid embedded platforms")
 	tab := &report.Table{Headers: []string{"system", "GFLOPS/W", "note"}}
 	tab.AddRow("Tibidabo Tegra2 node (DP)", res.Tegra2GFperW, "today: CPU only, no NEON")

@@ -1,0 +1,173 @@
+package platform
+
+import (
+	"montblanc/internal/cache"
+	"montblanc/internal/cpu"
+	"montblanc/internal/units"
+)
+
+// The built-in machines, expressed as registered specs. The first four
+// are the paper's platforms and must build byte-identically to the
+// historical hard-coded constructors (asserted by registry tests); the
+// last two are successor Arm generations calibrated from the related
+// work. PLATFORMS.md documents every calibration source.
+func init() {
+	MustRegister(snowballSpec())
+	MustRegister(xeonX5550Spec())
+	MustRegister(exynos5DualSpec())
+	MustRegister(tegra2NodeSpec())
+	MustRegister(montBlancNodeSpec())
+	MustRegister(thunderX2Spec())
+}
+
+// snowballSpec is the Calao Snowball board: dual-core A9500 at 1 GHz,
+// 1 GB LP-DDR2 (796 MB visible), 2.5 W USB power envelope.
+func snowballSpec() Spec {
+	return Spec{
+		Name:             "Snowball",
+		CPU:              *cpu.A9500(),
+		Cores:            2,
+		ISA:              ARM32,
+		RAMBytes:         796 * units.MiB,
+		Watts:            2.5,
+		MemBandwidth:     1.0e9, // LP-DDR2, single 32-bit channel
+		MemLatencyCycles: 130,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 32, Associativity: 4, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 512 * units.KiB, LineSize: 32, Associativity: 8, HitLatency: 24, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 30,
+	}
+}
+
+// xeonX5550Spec is the reference server: quad-core Nehalem at 2.66 GHz,
+// hyperthreading disabled as in the paper, 12 GB DDR3, 95 W TDP.
+func xeonX5550Spec() Spec {
+	return Spec{
+		Name:             "XeonX5550",
+		CPU:              *cpu.Nehalem(),
+		Cores:            4,
+		ISA:              X8664,
+		RAMBytes:         12 * units.GiB,
+		PowerName:        "Xeon",
+		Watts:            95,
+		MemBandwidth:     12e9, // triple-channel DDR3-1333, sustained
+		MemLatencyCycles: 180,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 256 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 10},
+			{Name: "L3", Level: 3, Size: 8 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 38, Shared: true},
+		},
+		TLBEntries:     64,
+		TLBMissPenalty: 25,
+	}
+}
+
+// exynos5DualSpec is the §VI anticipated node: Samsung Exynos 5 Dual
+// (two Cortex-A15 at 1.7 GHz) with an integrated Mali-T604 — "a peak
+// performance of about a 100 GFLOPS for a power consumption of 5
+// Watts" at the SoC level.
+func exynos5DualSpec() Spec {
+	return Spec{
+		Name:  "Exynos5Dual",
+		CPU:   *cpu.CortexA15(),
+		Cores: 2,
+		ISA:   ARM32,
+		Accel: &Accelerator{
+			Name:        "Mali-T604",
+			PeakSPFlops: 68e9,
+			PeakDPFlops: 21e9,
+		},
+		RAMBytes:         2 * units.GiB,
+		PowerName:        "Exynos5",
+		Watts:            5,
+		MemBandwidth:     6.4e9, // dual-channel LPDDR3
+		MemLatencyCycles: 180,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 2, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 21, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 25,
+	}
+}
+
+// tegra2NodeSpec is one Tibidabo compute node: dual-core Tegra2
+// (Cortex-A9 without NEON) at 1 GHz, 1 GB DDR2, PCIe 1 GbE NIC. Node
+// power ~8.5 W including the NIC, per the Tibidabo report.
+func tegra2NodeSpec() Spec {
+	return Spec{
+		Name:             "Tegra2",
+		CPU:              *cpu.Tegra2(),
+		Cores:            2,
+		ISA:              ARM32,
+		RAMBytes:         1 * units.GiB,
+		PowerName:        "Tegra2Node",
+		Watts:            8.5,
+		MemBandwidth:     0.9e9,
+		MemLatencyCycles: 140,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 32, Associativity: 4, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 32, Associativity: 8, HitLatency: 28, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 30,
+	}
+}
+
+// montBlancNodeSpec is the deployed Mont-Blanc first-phase prototype
+// compute card (arXiv:1508.05075): the same Exynos 5 Dual SoC the paper
+// anticipated, but as fielded — 4 GB LPDDR3 per card, sustained DRAM
+// bandwidth as measured on the blades rather than the channel peak, and
+// a node-level ~10 W envelope that includes DRAM, the 1 GbE NIC and the
+// blade's share of infrastructure (the same conservative accounting the
+// paper applies to the Snowball).
+func montBlancNodeSpec() Spec {
+	return Spec{
+		Name:  "MontBlancNode",
+		CPU:   *cpu.CortexA15(),
+		Cores: 2,
+		ISA:   ARM32,
+		Accel: &Accelerator{
+			Name:        "Mali-T604",
+			PeakSPFlops: 68e9,
+			PeakDPFlops: 21e9,
+		},
+		RAMBytes:         4 * units.GiB,
+		Watts:            10,
+		MemBandwidth:     5.6e9, // measured sustained, below the 12.8 GB/s channel peak
+		MemLatencyCycles: 180,
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 2, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 21, Shared: true},
+		},
+		TLBEntries:     32,
+		TLBMissPenalty: 25,
+	}
+}
+
+// thunderX2Spec is a ThunderX2-class server node calibrated from the
+// Dibona cluster study (arXiv:2007.04868): one 32-core CN99xx socket at
+// 2.0 GHz, 128 GB of 8-channel DDR4-2666 (sustained STREAM share
+// ~110 GB/s per socket), 175 W socket TDP — the Arm generation that
+// finally plays in the Xeon's weight class.
+func thunderX2Spec() Spec {
+	return Spec{
+		Name:             "ThunderX2",
+		CPU:              *cpu.ThunderX2(),
+		Cores:            32,
+		ISA:              ARM64,
+		RAMBytes:         128 * units.GiB,
+		Watts:            175,
+		MemBandwidth:     110e9,
+		MemLatencyCycles: 180, // ~90 ns load-to-use at 2.0 GHz
+		Caches: []cache.Config{
+			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 4},
+			{Name: "L2", Level: 2, Size: 256 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 9},
+			{Name: "L3", Level: 3, Size: 32 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 34, Shared: true},
+		},
+		TLBEntries:     64,
+		TLBMissPenalty: 25,
+	}
+}

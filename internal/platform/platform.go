@@ -1,12 +1,17 @@
 // Package platform assembles the machine models used throughout the
 // reproduction: the Calao Snowball (ST-Ericsson A9500), the Intel Xeon
-// X5550 reference server, and the Tibidabo compute node (NVIDIA Tegra2).
+// X5550 reference server, the Tibidabo compute node (NVIDIA Tegra2),
+// and the successor Arm generations from the related work (Exynos 5
+// Mont-Blanc prototype nodes, a ThunderX2-class server node).
 //
 // A Platform bundles a core timing model, a cache hierarchy
 // configuration, memory characteristics and a power envelope, and can
 // instantiate fresh simulators (cache hierarchies, TLBs) for
-// experiments. Calibration constants come from the parts' public specs;
-// DESIGN.md documents how they were chosen.
+// experiments. Platforms are defined as serializable Specs held in a
+// process-wide registry (Register / Lookup / Names); users add their
+// own machines from JSON spec files (LoadSpecFile). Calibration
+// constants come from the parts' public specs; PLATFORMS.md documents
+// how each registered spec was chosen.
 package platform
 
 import (
@@ -29,6 +34,7 @@ type ISA int
 const (
 	ARM32 ISA = iota
 	X8664
+	ARM64
 )
 
 // String names the ISA.
@@ -38,17 +44,60 @@ func (i ISA) String() string {
 		return "armv7"
 	case X8664:
 		return "x86_64"
+	case ARM64:
+		return "aarch64"
 	default:
 		return fmt.Sprintf("ISA(%d)", int(i))
 	}
 }
 
+// Bits returns the ISA's native word width. Workload models that pay an
+// emulation tax for 64-bit operations (bitboard chess) key on this
+// rather than on a specific ISA, so 64-bit ARM platforms are costed
+// like x86-64.
+func (i ISA) Bits() int {
+	if i == ARM32 {
+		return 32
+	}
+	return 64
+}
+
+// ParseISA resolves an ISA name as used in spec files ("armv7",
+// "x86_64", "aarch64").
+func ParseISA(s string) (ISA, error) {
+	for _, i := range []ISA{ARM32, X8664, ARM64} {
+		if i.String() == s {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("platform: unknown ISA %q (want armv7, x86_64 or aarch64)", s)
+}
+
+// MarshalText encodes the ISA by name, so specs serialize readably.
+func (i ISA) MarshalText() ([]byte, error) {
+	switch i {
+	case ARM32, X8664, ARM64:
+		return []byte(i.String()), nil
+	}
+	return nil, fmt.Errorf("platform: cannot marshal %s", i)
+}
+
+// UnmarshalText decodes an ISA name.
+func (i *ISA) UnmarshalText(b []byte) error {
+	parsed, err := ParseISA(string(b))
+	if err != nil {
+		return err
+	}
+	*i = parsed
+	return nil
+}
+
 // Accelerator is an on-chip GPU usable for general-purpose compute, the
 // §VI.A perspective (Mali T604 on the Exynos 5, GPGPU on Tegra 3).
 type Accelerator struct {
-	Name        string
-	PeakSPFlops float64 // flops/s, single precision
-	PeakDPFlops float64 // flops/s, double precision (0 = unsupported)
+	Name        string  `json:"name"`
+	PeakSPFlops float64 `json:"peak_sp_flops"` // flops/s, single precision
+	PeakDPFlops float64 `json:"peak_dp_flops"` // flops/s, double precision (0 = unsupported)
 }
 
 // Platform is a complete single-node machine model.
@@ -207,106 +256,24 @@ func (p *Platform) String() string {
 // 1 GHz, 1 GB LP-DDR2 (796 MB visible), 2.5 W USB power envelope.
 // The 32 KB 4-way L1 has two page colours — physically indexed, so an
 // unlucky physical allocation makes an L1-sized array conflict with
-// itself (§V.A.1).
-func Snowball() *Platform {
-	return &Platform{
-		Name:             "Snowball",
-		CPU:              cpu.A9500(),
-		Cores:            2,
-		ISA:              ARM32,
-		RAMBytes:         796 * units.MiB,
-		Power:            power.Model{Name: "Snowball", Watts: 2.5},
-		MemBandwidth:     1.0e9, // LP-DDR2, single 32-bit channel
-		MemLatencyCycles: 130,
-		Caches: []cache.Config{
-			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 32, Associativity: 4, HitLatency: 4},
-			{Name: "L2", Level: 2, Size: 512 * units.KiB, LineSize: 32, Associativity: 8, HitLatency: 24, Shared: true},
-		},
-		TLBEntries:     32,
-		TLBMissPenalty: 30,
-	}
-}
+// itself (§V.A.1). Built from the registered spec; see builtin.go.
+func Snowball() *Platform { return MustLookup("Snowball") }
 
 // XeonX5550 returns the reference server model: quad-core Nehalem at
 // 2.66 GHz with hyperthreading disabled (as in the paper), 12 GB DDR3,
 // 95 W TDP. Its 32 KB 8-way L1 has a single page colour, which is why
 // x86 never showed the paper's page-allocation reproducibility problem.
-func XeonX5550() *Platform {
-	return &Platform{
-		Name:             "XeonX5550",
-		CPU:              cpu.Nehalem(),
-		Cores:            4,
-		ISA:              X8664,
-		RAMBytes:         12 * units.GiB,
-		Power:            power.Model{Name: "Xeon", Watts: 95},
-		MemBandwidth:     12e9, // triple-channel DDR3-1333, sustained
-		MemLatencyCycles: 180,
-		Caches: []cache.Config{
-			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 4},
-			{Name: "L2", Level: 2, Size: 256 * units.KiB, LineSize: 64, Associativity: 8, HitLatency: 10},
-			{Name: "L3", Level: 3, Size: 8 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 38, Shared: true},
-		},
-		TLBEntries:     64,
-		TLBMissPenalty: 25,
-	}
-}
+func XeonX5550() *Platform { return MustLookup("XeonX5550") }
 
 // Exynos5Dual returns the final Mont-Blanc prototype node the paper's
 // §VI anticipates: Samsung Exynos 5 Dual (two Cortex-A15 at 1.7 GHz)
 // with an integrated Mali-T604 GPU supporting double precision —
 // "a peak performance of about a 100 GFLOPS for a power consumption of
 // 5 Watts".
-func Exynos5Dual() *Platform {
-	a15 := cpu.CortexA9("CortexA15") // same family; key deltas below
-	a15.ClockHz = 1.7e9
-	a15.OutOfOrder = true
-	a15.MissOverlap = 0.6
-	a15.IntIPC = 1.4
-	a15.FlopsPerCycleSP = 4.0 // VFPv4 NEON with FMA
-	a15.FlopsPerCycleDP = 1.0 // NEONv2 handles doubles
-	a15.Regs = [3]int{14, 14, 8}
-	return &Platform{
-		Name:  "Exynos5Dual",
-		CPU:   a15,
-		Cores: 2,
-		ISA:   ARM32,
-		Accel: &Accelerator{
-			Name:        "Mali-T604",
-			PeakSPFlops: 68e9,
-			PeakDPFlops: 21e9,
-		},
-		RAMBytes:         2 * units.GiB,
-		Power:            power.Model{Name: "Exynos5", Watts: 5},
-		MemBandwidth:     6.4e9, // dual-channel LPDDR3
-		MemLatencyCycles: 180,
-		Caches: []cache.Config{
-			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 64, Associativity: 2, HitLatency: 4},
-			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 64, Associativity: 16, HitLatency: 21, Shared: true},
-		},
-		TLBEntries:     32,
-		TLBMissPenalty: 25,
-	}
-}
+func Exynos5Dual() *Platform { return MustLookup("Exynos5Dual") }
 
 // Tegra2Node returns one Tibidabo compute node: dual-core Tegra2
 // (Cortex-A9 without NEON) at 1 GHz, 1 GB DDR2, with a PCIe 1 GbE NIC.
 // Node power (~8.5 W including NIC, per the Tibidabo report) is kept for
 // completeness; the paper does no large-scale power measurement.
-func Tegra2Node() *Platform {
-	return &Platform{
-		Name:             "Tegra2",
-		CPU:              cpu.Tegra2(),
-		Cores:            2,
-		ISA:              ARM32,
-		RAMBytes:         1 * units.GiB,
-		Power:            power.Model{Name: "Tegra2Node", Watts: 8.5},
-		MemBandwidth:     0.9e9,
-		MemLatencyCycles: 140,
-		Caches: []cache.Config{
-			{Name: "L1d", Level: 1, Size: 32 * units.KiB, LineSize: 32, Associativity: 4, HitLatency: 4},
-			{Name: "L2", Level: 2, Size: 1 * units.MiB, LineSize: 32, Associativity: 8, HitLatency: 28, Shared: true},
-		},
-		TLBEntries:     32,
-		TLBMissPenalty: 30,
-	}
-}
+func Tegra2Node() *Platform { return MustLookup("Tegra2") }

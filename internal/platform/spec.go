@@ -1,0 +1,147 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"montblanc/internal/cache"
+	"montblanc/internal/cpu"
+	"montblanc/internal/power"
+)
+
+// Spec is the serializable description of a Platform: everything a
+// Platform carries, as plain data. A Spec round-trips through JSON, so
+// machines can be defined in files (see LoadSpecFile) as well as in
+// code, and the built-in platforms are themselves registered Specs
+// (builtin.go). Build constructs a fresh *Platform; every build returns
+// an independent value, so callers may mutate the result freely.
+type Spec struct {
+	Name  string    `json:"name"`
+	CPU   cpu.Model `json:"cpu"`
+	Cores int       `json:"cores"`
+	ISA   ISA       `json:"isa"`
+
+	// Accel is the integrated GPU, when present.
+	Accel *Accelerator `json:"accel,omitempty"`
+
+	RAMBytes int64 `json:"ram_bytes"`
+
+	// PowerName overrides the power model's name when it historically
+	// differs from the platform name (e.g. the Xeon's envelope is named
+	// "Xeon"); empty means the platform name.
+	PowerName string  `json:"power_name,omitempty"`
+	Watts     float64 `json:"watts"`
+
+	MemBandwidth     float64 `json:"mem_bandwidth"`
+	MemLatencyCycles int     `json:"mem_latency_cycles"`
+
+	Caches []cache.Config `json:"caches"`
+
+	TLBEntries     int `json:"tlb_entries"`
+	TLBMissPenalty int `json:"tlb_miss_penalty"`
+}
+
+// UnmarshalJSON decodes a spec, rejecting unknown fields and requiring
+// an explicit "isa": the ISA zero value is armv7, and a 64-bit machine
+// spec that omitted the field would otherwise silently register with
+// the 32-bit emulation tax priced in — exactly the quiet mis-costing
+// the fail-loudly parsing is meant to prevent.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	type bare Spec // no methods: avoids recursing into this unmarshaler
+	aux := struct {
+		*bare
+		ISA *ISA `json:"isa"`
+	}{bare: (*bare)(s)}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&aux); err != nil {
+		return err
+	}
+	if aux.ISA == nil {
+		return fmt.Errorf("spec %q: missing \"isa\" field (armv7, x86_64 or aarch64)", s.Name)
+	}
+	s.ISA = *aux.ISA
+	return nil
+}
+
+// clone returns a deep copy: the Caches slice and Accel pointer are
+// duplicated, so neither side can mutate the other. The registry
+// stores and hands out clones only — a caller tweaking a looked-up
+// spec (the copy-builtin-and-edit pattern) must never write through
+// into the registered machines.
+func (s Spec) clone() Spec {
+	s.Caches = append([]cache.Config(nil), s.Caches...)
+	if s.Accel != nil {
+		a := *s.Accel
+		s.Accel = &a
+	}
+	return s
+}
+
+// powerName returns the name the built power.Model carries.
+func (s Spec) powerName() string {
+	if s.PowerName != "" {
+		return s.PowerName
+	}
+	return s.Name
+}
+
+// Build constructs a fresh Platform from the spec and validates it.
+// Nothing is shared between builds: the CPU model, accelerator and
+// cache slice are all copies, so experiments that mutate a platform
+// (ablations, what-if studies) never contaminate the registry.
+func (s Spec) Build() (*Platform, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cpuCopy := s.CPU
+	p := &Platform{
+		Name:             s.Name,
+		CPU:              &cpuCopy,
+		Cores:            s.Cores,
+		ISA:              s.ISA,
+		RAMBytes:         s.RAMBytes,
+		Power:            power.Model{Name: s.powerName(), Watts: s.Watts},
+		MemBandwidth:     s.MemBandwidth,
+		MemLatencyCycles: s.MemLatencyCycles,
+		Caches:           append([]cache.Config(nil), s.Caches...),
+		TLBEntries:       s.TLBEntries,
+		TLBMissPenalty:   s.TLBMissPenalty,
+	}
+	if s.Accel != nil {
+		a := *s.Accel
+		p.Accel = &a
+	}
+	return p, nil
+}
+
+// Validate checks the spec without building it: the platform-level
+// invariants plus the spec-only ones (a usable name, a positive power
+// envelope, a known ISA).
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("platform: spec with empty name")
+	}
+	if _, err := ParseISA(s.ISA.String()); err != nil {
+		return fmt.Errorf("platform: spec %s: %w", s.Name, err)
+	}
+	if s.Watts <= 0 {
+		return fmt.Errorf("platform: spec %s: power envelope %g W", s.Name, s.Watts)
+	}
+	if s.TLBEntries < 0 || s.TLBMissPenalty < 0 {
+		return fmt.Errorf("platform: spec %s: negative TLB parameters", s.Name)
+	}
+	cpuCopy := s.CPU
+	probe := Platform{
+		Name:             s.Name,
+		CPU:              &cpuCopy,
+		Cores:            s.Cores,
+		ISA:              s.ISA,
+		RAMBytes:         s.RAMBytes,
+		MemBandwidth:     s.MemBandwidth,
+		MemLatencyCycles: s.MemLatencyCycles,
+		Caches:           s.Caches,
+	}
+	return probe.Validate()
+}

@@ -1,0 +1,32 @@
+package report
+
+// Matrix renders a labeled cross grid — a row-label column plus one
+// column per compared entity — the comparison-matrix form used by the
+// cross-platform sweep experiments. It delegates formatting to Table so
+// matrices and tables share the exact same cell rendering.
+type Matrix struct {
+	Title  string
+	Corner string // header of the row-label column, e.g. "workload \ platform"
+	Cols   []string
+	rows   [][]interface{}
+}
+
+// AddRow appends one labeled row; values follow Cols order.
+func (m *Matrix) AddRow(label string, values ...interface{}) {
+	row := make([]interface{}, 0, len(values)+1)
+	row = append(row, label)
+	row = append(row, values...)
+	m.rows = append(m.rows, row)
+}
+
+// String renders the matrix as an aligned table.
+func (m *Matrix) String() string {
+	tab := &Table{
+		Title:   m.Title,
+		Headers: append([]string{m.Corner}, m.Cols...),
+	}
+	for _, r := range m.rows {
+		tab.AddRow(r...)
+	}
+	return tab.String()
+}
