@@ -481,7 +481,15 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ReportMetric(float64(cells)/perOp.Seconds(), "cells/s")
 	b.ReportMetric(sequential.Seconds()/perOp.Seconds(), "speedup-vs-sequential")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
-	b.ReportMetric(s.Ratio(0, s.RefIndex("Snowball"), s.RefIndex("XeonX5550")), "linpack-snowball-ratio")
+	snow, err := s.RefIndex("Snowball")
+	if err != nil {
+		b.Fatal(err)
+	}
+	xeon, err := s.RefIndex("XeonX5550")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(s.Ratio(0, snow, xeon), "linpack-snowball-ratio")
 }
 
 // --- Auto-tuning harness ------------------------------------------------------

@@ -19,6 +19,12 @@
 //
 //	montblanc -platform Snowball,ThunderX2 'sweep*'   # restrict sweep set
 //	montblanc -platform-file mymachine.json 'sweep*'  # add machines from JSON specs
+//	montblanc -quick energy-phases                    # joules by execution state
+//
+// Platform specs may carry a state-resolved "power" section (idle /
+// compute / memory / communication watts; see PLATFORMS.md). The
+// energy-phases experiment integrates those profiles over phased runs;
+// machines without a power section keep the paper's constant envelope.
 //
 // Experiments run concurrently on -parallel workers (default
 // GOMAXPROCS), each into a private buffer; output is emitted in ID
@@ -260,7 +266,10 @@ emitted in ID order regardless of completion order.
 
 'montblanc platforms' lists the registered machine models the sweep*
 experiments compare; -platform restricts that set and -platform-file
-registers additional machines from a JSON spec file.
+registers additional machines from a JSON spec file. Specs may include
+a state-resolved "power" section (idle/compute/memory/comm watts, see
+PLATFORMS.md) used by the energy-phases experiment; without one a
+machine is charged its constant envelope, the paper's §III.C model.
 
 `)
 	fs.PrintDefaults()

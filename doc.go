@@ -23,6 +23,19 @@
 // on the same runner; -platform restricts the sweep set. PLATFORMS.md
 // documents every spec's calibration sources.
 //
+// Energy is state-resolved: internal/power models each machine as a
+// Profile of per-state watts (idle / compute / memory / communication),
+// with the paper's constant §III.C envelope as the uniform special
+// case — whole-run accounting still charges the full envelope, so the
+// historical Table II energy ratios are unchanged. A spec's optional
+// "power" JSON section ({"idle_watts", "memory_watts", "comm_watts",
+// optional "compute_watts" defaulting to "watts"}) carries the
+// calibrated draw; internal/trace integrates a profile over per-rank
+// state intervals (EnergyByState), turning Extrae-style traces into
+// power traces, and the energy-phases experiment runs a phased
+// mini-app on every registered platform to split joules by execution
+// state. A uniform profile reproduces the constant model exactly.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

@@ -128,7 +128,7 @@ func (c *Cluster) NodesFor(ranks int) int {
 // to be counterbalanced by the network inefficiency": congestion
 // stretches the makespan, and the nodes burn power throughout.
 func (c *Cluster) JobEnergy(rep *simmpi.Report, ranks int) float64 {
-	return float64(c.NodesFor(ranks)) * c.Node.Power.Watts * rep.Seconds
+	return float64(c.NodesFor(ranks)) * c.Node.Power.Compute * rep.Seconds
 }
 
 // SpeedupPoint is one point of a strong-scaling curve (Figure 3).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"montblanc/internal/platform"
 	"montblanc/internal/power"
@@ -69,16 +70,28 @@ func RunSweep(ps []*platform.Platform, ws []Workload, workers int) (*Sweep, erro
 	return &Sweep{Platforms: ps, Workloads: ws, Values: values}, nil
 }
 
-// RefIndex returns the index of the named reference platform, or 0 (the
-// first platform) when absent — the Table II convention generalized:
-// ratios read "how far ahead is the reference".
-func (s *Sweep) RefIndex(name string) int {
+// ErrNoReference is returned by RefIndex when the named platform is not
+// part of the sweep.
+var ErrNoReference = errors.New("core: reference platform not in sweep")
+
+// RefIndex returns the index of the named reference platform — the
+// anchor of every ratio column, the Table II convention generalized:
+// ratios read "how far ahead is the reference". A name absent from the
+// sweep is an error wrapping ErrNoReference: the historical fallback to
+// index 0 made a typo'd platform set produce plausible-looking but
+// wrong ratios against an arbitrary machine.
+func (s *Sweep) RefIndex(name string) (int, error) {
 	for i, p := range s.Platforms {
 		if p.Name == name {
-			return i
+			return i, nil
 		}
 	}
-	return 0
+	names := make([]string, len(s.Platforms))
+	for i, p := range s.Platforms {
+		names[i] = p.Name
+	}
+	return 0, fmt.Errorf("%w: %q (swept platforms: %s)",
+		ErrNoReference, name, strings.Join(names, ", "))
 }
 
 // Ratio returns the reference platform's advantage on workload wi over

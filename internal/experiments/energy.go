@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"montblanc/internal/core"
+	"montblanc/internal/report"
+)
+
+// energy-phases is the phase-resolved counterpart of sweep-energy: the
+// paper's §III.C accounting charges one constant envelope for a whole
+// run, but the follow-on measurement work (arXiv:1410.3440, and the
+// ThunderX2 study's >3x idle-vs-load divergence, arXiv:2007.04868)
+// integrates power over application phases. Every registered platform
+// runs the same phased mini-app — compute round, DRAM sweep, ring halo
+// exchange on a shared GbE fabric — and its power profile is integrated
+// over the resulting trace, splitting joules by execution state.
+func init() {
+	register(Experiment{
+		ID:    "energy-phases",
+		Title: "Phase-resolved energy: joules by execution state on every registered platform",
+		Cost:  3,
+		Run:   runEnergyPhases,
+	})
+}
+
+// phaseProbeConfig sizes the probe: the full run is a few seconds of
+// virtual time per platform, the quick run shrinks every dimension.
+// Rank 0 carries 30% extra compute so the trace shows the straggler
+// waits and idle tails real phased applications have.
+func phaseProbeConfig(o Options) core.PhaseProbeConfig {
+	if o.Quick {
+		return core.PhaseProbeConfig{
+			Nodes: 4, Iters: 4, FlopsPerIter: 5e8, SweepBytes: 16 << 20,
+			Imbalance: 0.3,
+		}
+	}
+	return core.PhaseProbeConfig{Imbalance: 0.3}
+}
+
+func runEnergyPhases(w io.Writer, o Options) error {
+	ps, err := sweepPlatforms(o)
+	if err != nil {
+		return err
+	}
+	cfg := phaseProbeConfig(o)
+	pes, err := core.RunPhaseSweep(ps, cfg, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Phase-resolved energy accounting across %d platforms (power profiles, PLATFORMS.md)\n",
+		len(pes))
+	fmt.Fprintln(w, "Same work per node on every machine; the per-phase time and watts differ.")
+
+	cols := platformCols(ps)
+	joules := &report.Matrix{
+		Title:  "energy by execution state (joules, all nodes over the job makespan)",
+		Corner: "quantity \\ platform",
+		Cols:   cols,
+	}
+	for _, st := range core.PhaseStates() {
+		row := make([]interface{}, len(pes))
+		for i, pe := range pes {
+			row[i] = pe.Breakdown.Joules(st)
+		}
+		joules.AddRow(st.String()+" (J)", row...)
+	}
+	totals := make([]interface{}, len(pes))
+	envelopes := make([]interface{}, len(pes))
+	savings := make([]interface{}, len(pes))
+	for i, pe := range pes {
+		totals[i] = pe.Breakdown.Total
+		envelopes[i] = pe.EnvelopeJoules
+		saving := 0.0
+		if pe.EnvelopeJoules > 0 {
+			saving = (1 - pe.Breakdown.Total/pe.EnvelopeJoules) * 100
+		}
+		savings[i] = saving
+	}
+	joules.AddRow("total (J)", totals...)
+	joules.AddRow("constant envelope (J)", envelopes...)
+	joules.AddRow("profile vs envelope (%)", savings...)
+	fmt.Fprint(w, joules.String())
+
+	shares := &report.Matrix{
+		Title:  "where the time goes (% of node-seconds per state)",
+		Corner: "state \\ platform",
+		Cols:   cols,
+	}
+	for _, st := range core.PhaseStates() {
+		row := make([]interface{}, len(pes))
+		for i, pe := range pes {
+			nodeSeconds := pe.Seconds * float64(len(pe.Breakdown.ByRank))
+			share := 0.0
+			if nodeSeconds > 0 {
+				share = pe.Breakdown.SecondsByState[st] / nodeSeconds * 100
+			}
+			row[i] = share
+		}
+		shares.AddRow(st.String()+" (%)", row...)
+	}
+	fmt.Fprint(w, shares.String())
+
+	fmt.Fprintln(w, "A uniform profile reduces the total exactly to the constant envelope —")
+	fmt.Fprintln(w, "the paper's §III.C bound is the degenerate case of this integration.")
+	fmt.Fprintln(w, "Fast nodes shift joules from compute into communication and idle; slow")
+	fmt.Fprintln(w, "nodes burn their envelope in compute — the phase mix, not the envelope,")
+	fmt.Fprintln(w, "decides the energy bill.")
+	return nil
+}

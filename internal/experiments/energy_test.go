@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// energy-phases must emit identical bytes for any worker count, both
+// for the experiment-level pool (-parallel 1..8) and for the internal
+// per-platform phase sweep it dispatches on a full pool.
+func TestEnergyPhasesDeterministicAcrossWorkers(t *testing.T) {
+	es, err := Match("energy-phases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Quick: true}
+	var base bytes.Buffer
+	if _, err := Stream(&base, es, opts, 1); err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() == 0 {
+		t.Fatal("energy-phases produced no output")
+	}
+	for workers := 2; workers <= 8; workers++ {
+		workers := workers
+		t.Run(fmt.Sprintf("parallel%d", workers), func(t *testing.T) {
+			t.Parallel()
+			var got bytes.Buffer
+			if _, err := Stream(&got, es, opts, workers); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), base.Bytes()) {
+				t.Errorf("workers=%d output differs (%d vs %d bytes)",
+					workers, got.Len(), base.Len())
+			}
+		})
+	}
+}
+
+// The energy-phases output must carry the per-state matrix and the
+// envelope comparison for every platform in the restricted set.
+func TestEnergyPhasesOutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{Quick: true, Platforms: []string{"Snowball", "ThunderX2"}}
+	if err := runEnergyPhases(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"compute (J)", "memory (J)", "communication (J)", "idle (J)",
+		"total (J)", "constant envelope (J)", "Snowball", "ThunderX2",
+		"where the time goes",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+// A sweep restricted away from the paper's reference must say which
+// platform anchors the ratios instead of silently using index 0.
+func TestSweepRefFallbackIsAnnounced(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{Quick: true, Platforms: []string{"Snowball", "Tegra2"}}
+	if err := runSweepMatrix(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "note: reference XeonX5550 not in this sweep") ||
+		!strings.Contains(out, "anchored on Snowball") {
+		t.Errorf("fallback not announced:\n%s", out)
+	}
+
+	// With the reference present there is no note — the historical
+	// output is untouched.
+	buf.Reset()
+	if err := runSweepMatrix(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "note: reference") {
+		t.Error("fallback note printed although the reference is in the sweep")
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4",
+		"energy-phases", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4",
 		"fig5", "fig6", "fig7", "locality", "pagealloc",
 		"perspectives", "sweep-energy", "sweep-matrix", "sweep-specs",
 		"table1", "table2",

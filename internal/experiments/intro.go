@@ -135,7 +135,7 @@ func runTable2(w io.Writer, _ Options) error {
 	}
 	fmt.Fprint(w, tab.String())
 	fmt.Fprintf(w, "power model: Snowball %.1fW (full USB budget) vs Xeon %.0fW (TDP)\n",
-		platform.MustLookup("Snowball").Power.Watts, platform.MustLookup("XeonX5550").Power.Watts)
+		platform.MustLookup("Snowball").Power.Compute, platform.MustLookup("XeonX5550").Power.Compute)
 	fmt.Fprintf(w, "Snowball RAM %s, Xeon RAM %s\n",
 		units.Bytes(platform.MustLookup("Snowball").RAMBytes), units.Bytes(platform.MustLookup("XeonX5550").RAMBytes))
 	return nil

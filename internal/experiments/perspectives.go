@@ -39,11 +39,11 @@ func PerspectivesData() PerspectivesResult {
 	tegra := platform.MustLookup("Tegra2")
 	exynos := platform.MustLookup("Exynos5Dual")
 	return PerspectivesResult{
-		Tegra2GFperW: power.GFLOPSPerWatt(tegra.PeakFlops(true), tegra.Power.Watts),
+		Tegra2GFperW: power.GFLOPSPerWatt(tegra.PeakFlops(true), tegra.Power.Compute),
 		Exynos5PeakGFperW: power.GFLOPSPerWatt(
-			exynos.PeakFlopsWithAccel(false), exynos.Power.Watts),
+			exynos.PeakFlopsWithAccel(false), exynos.Power.Compute),
 		Exynos5NodeGFperW: power.GFLOPSPerWatt(
-			exynos.PeakFlopsWithAccel(false), exynos.Power.Watts+exynosNodeOverheadWatts),
+			exynos.PeakFlopsWithAccel(false), exynos.Power.Compute+exynosNodeOverheadWatts),
 		ExaflopGFperW:    power.NewExaflopBudget(1e18, 20e6, 2).RequiredGFperW,
 		StateOfArtGFperW: 2,
 	}
@@ -57,7 +57,7 @@ func runPerspectives(w io.Writer, _ Options) error {
 	tab.AddRow("Tibidabo Tegra2 node (DP)", res.Tegra2GFperW, "today: CPU only, no NEON")
 	tab.AddRow("2012 Green500 leader", res.StateOfArtGFperW, "the paper's reference point")
 	tab.AddRow("Exynos5+Mali SoC peak (SP)", res.Exynos5PeakGFperW,
-		fmt.Sprintf("~%.0f GFLOPS at %.0fW", exynos.PeakFlopsWithAccel(false)/1e9, exynos.Power.Watts))
+		fmt.Sprintf("~%.0f GFLOPS at %.0fW", exynos.PeakFlopsWithAccel(false)/1e9, exynos.Power.Compute))
 	tab.AddRow("Exynos5 node w/ overheads", res.Exynos5NodeGFperW,
 		"network+cooling+storage accounted")
 	tab.AddRow("exaflop at 20MW", res.ExaflopGFperW, "the barrier")

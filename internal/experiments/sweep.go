@@ -44,6 +44,21 @@ func init() {
 // server when it is part of the sweep, the first platform otherwise.
 const sweepReference = "XeonX5550"
 
+// sweepRef resolves the ratio anchor. core.RefIndex errors when the
+// reference is absent (it used to guess index 0 silently); a -platform
+// restriction may legitimately exclude the Xeon, so the experiments
+// fall back to the first swept platform and say so in the output — the
+// anchor of every ratio column is never implicit.
+func sweepRef(w io.Writer, s *core.Sweep) int {
+	ref, err := s.RefIndex(sweepReference)
+	if err != nil {
+		fmt.Fprintf(w, "note: reference %s not in this sweep; ratios anchored on %s instead\n",
+			sweepReference, s.Platforms[0].Name)
+		return 0
+	}
+	return ref
+}
+
 // sweepPlatforms resolves the sweep set from the options: the named
 // platforms in the given order, or every registered platform.
 func sweepPlatforms(o Options) ([]*platform.Platform, error) {
@@ -90,7 +105,7 @@ func runSweepMatrix(w io.Writer, o Options) error {
 	if err != nil {
 		return err
 	}
-	ref := s.RefIndex(sweepReference)
+	ref := sweepRef(w, s)
 	fmt.Fprintf(w, "Table II workload matrix across %d platforms (%d cells via the parallel runner)\n",
 		len(s.Platforms), len(s.Platforms)*len(s.Workloads))
 
@@ -145,7 +160,7 @@ func runSweepEnergy(w io.Writer, o Options) error {
 	if err != nil {
 		return err
 	}
-	ref := s.RefIndex(sweepReference)
+	ref := sweepRef(w, s)
 	fmt.Fprintf(w, "Energy to solution across %d platforms (constant-envelope model, §III.C)\n",
 		len(s.Platforms))
 
@@ -184,7 +199,7 @@ func runSweepEnergy(w io.Writer, o Options) error {
 	// The low-power framing only applies when the sweep pits a smaller
 	// envelope against the reference.
 	for _, p := range s.Platforms {
-		if p.Power.Watts < s.Platforms[ref].Power.Watts {
+		if p.Power.Compute < s.Platforms[ref].Power.Compute {
 			fmt.Fprintln(w, "The paper's bet restated N ways: low-power nodes lose on speed yet win")
 			fmt.Fprintln(w, "on energy for the workloads whose slowdown stays under the power ratio.")
 			break
@@ -210,11 +225,11 @@ func runSweepSpecs(w io.Writer, o Options) error {
 			fmt.Sprintf("%d x %s @ %.2fGHz", p.Cores, p.CPU.Name, p.CPU.ClockHz/1e9),
 			p.ISA.String(),
 			units.Bytes(p.RAMBytes),
-			p.Power.Watts,
+			p.Power.Compute,
 			sp/1e9,
 			p.PeakFlopsWithAccel(true)/1e9,
 			p.MemBandwidth/1e9,
-			power.GFLOPSPerWatt(sp, p.Power.Watts),
+			power.GFLOPSPerWatt(sp, p.Power.Compute),
 		)
 	}
 	fmt.Fprint(w, tab.String())

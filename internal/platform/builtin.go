@@ -21,7 +21,10 @@ func init() {
 }
 
 // snowballSpec is the Calao Snowball board: dual-core A9500 at 1 GHz,
-// 1 GB LP-DDR2 (796 MB visible), 2.5 W USB power envelope.
+// 1 GB LP-DDR2 (796 MB visible), 2.5 W USB power envelope. The
+// per-state watts follow the fine-grained board measurements of
+// arXiv:1410.3440: a ~0.6 W idle floor, memory-bound phases drawing
+// close to the envelope, network-bound phases around 1.5 W.
 func snowballSpec() Spec {
 	return Spec{
 		Name:             "Snowball",
@@ -30,6 +33,7 @@ func snowballSpec() Spec {
 		ISA:              ARM32,
 		RAMBytes:         796 * units.MiB,
 		Watts:            2.5,
+		Power:            &PowerSpec{IdleWatts: 0.6, MemoryWatts: 2.2, CommWatts: 1.5},
 		MemBandwidth:     1.0e9, // LP-DDR2, single 32-bit channel
 		MemLatencyCycles: 130,
 		Caches: []cache.Config{
@@ -42,7 +46,10 @@ func snowballSpec() Spec {
 }
 
 // xeonX5550Spec is the reference server: quad-core Nehalem at 2.66 GHz,
-// hyperthreading disabled as in the paper, 12 GB DDR3, 95 W TDP.
+// hyperthreading disabled as in the paper, 12 GB DDR3, 95 W TDP. The
+// per-state watts follow Nehalem-era server measurements (see
+// arXiv:1410.3440): idle roughly a third of TDP, memory-bound phases
+// near 80 W, communication-bound phases around 55 W.
 func xeonX5550Spec() Spec {
 	return Spec{
 		Name:             "XeonX5550",
@@ -52,6 +59,7 @@ func xeonX5550Spec() Spec {
 		RAMBytes:         12 * units.GiB,
 		PowerName:        "Xeon",
 		Watts:            95,
+		Power:            &PowerSpec{IdleWatts: 30, MemoryWatts: 80, CommWatts: 55},
 		MemBandwidth:     12e9, // triple-channel DDR3-1333, sustained
 		MemLatencyCycles: 180,
 		Caches: []cache.Config{
@@ -82,6 +90,7 @@ func exynos5DualSpec() Spec {
 		RAMBytes:         2 * units.GiB,
 		PowerName:        "Exynos5",
 		Watts:            5,
+		Power:            &PowerSpec{IdleWatts: 1.0, MemoryWatts: 4.2, CommWatts: 2.8},
 		MemBandwidth:     6.4e9, // dual-channel LPDDR3
 		MemLatencyCycles: 180,
 		Caches: []cache.Config{
@@ -105,6 +114,7 @@ func tegra2NodeSpec() Spec {
 		RAMBytes:         1 * units.GiB,
 		PowerName:        "Tegra2Node",
 		Watts:            8.5,
+		Power:            &PowerSpec{IdleWatts: 2.8, MemoryWatts: 7.2, CommWatts: 5.5},
 		MemBandwidth:     0.9e9,
 		MemLatencyCycles: 140,
 		Caches: []cache.Config{
@@ -136,6 +146,7 @@ func montBlancNodeSpec() Spec {
 		},
 		RAMBytes:         4 * units.GiB,
 		Watts:            10,
+		Power:            &PowerSpec{IdleWatts: 3.2, MemoryWatts: 8.6, CommWatts: 6.4},
 		MemBandwidth:     5.6e9, // measured sustained, below the 12.8 GB/s channel peak
 		MemLatencyCycles: 180,
 		Caches: []cache.Config{
@@ -151,7 +162,10 @@ func montBlancNodeSpec() Spec {
 // Dibona cluster study (arXiv:2007.04868): one 32-core CN99xx socket at
 // 2.0 GHz, 128 GB of 8-channel DDR4-2666 (sustained STREAM share
 // ~110 GB/s per socket), 175 W socket TDP — the Arm generation that
-// finally plays in the Xeon's weight class.
+// finally plays in the Xeon's weight class. The per-state watts encode
+// the study's headline power observation: idle and full load diverge
+// by more than 3x (55 W idle against the 175 W envelope), with
+// memory-bound phases near 150 W and communication around 95 W.
 func thunderX2Spec() Spec {
 	return Spec{
 		Name:             "ThunderX2",
@@ -160,6 +174,7 @@ func thunderX2Spec() Spec {
 		ISA:              ARM64,
 		RAMBytes:         128 * units.GiB,
 		Watts:            175,
+		Power:            &PowerSpec{IdleWatts: 55, MemoryWatts: 150, CommWatts: 95},
 		MemBandwidth:     110e9,
 		MemLatencyCycles: 180, // ~90 ns load-to-use at 2.0 GHz
 		Caches: []cache.Config{

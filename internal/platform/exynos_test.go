@@ -24,7 +24,7 @@ func TestExynos5HybridPeak(t *testing.T) {
 	if peak < 75e9 || peak > 110e9 {
 		t.Errorf("hybrid SP peak = %.0f GFLOPS, want ~100", peak/1e9)
 	}
-	if g := power.GFLOPSPerWatt(peak, p.Power.Watts); g < 15 || g > 22 {
+	if g := power.GFLOPSPerWatt(peak, p.Power.Compute); g < 15 || g > 22 {
 		t.Errorf("SoC efficiency = %.1f GF/W, want ~20", g)
 	}
 }
@@ -53,8 +53,8 @@ func TestExynos5DoublePrecisionCapable(t *testing.T) {
 func TestExynos5BeatsTegra2Efficiency(t *testing.T) {
 	tegra := Tegra2Node()
 	exynos := Exynos5Dual()
-	tegraEff := power.GFLOPSPerWatt(tegra.PeakFlops(false), tegra.Power.Watts)
-	exynosEff := power.GFLOPSPerWatt(exynos.PeakFlopsWithAccel(false), exynos.Power.Watts)
+	tegraEff := power.GFLOPSPerWatt(tegra.PeakFlops(false), tegra.Power.Compute)
+	exynosEff := power.GFLOPSPerWatt(exynos.PeakFlopsWithAccel(false), exynos.Power.Compute)
 	if exynosEff < 10*tegraEff {
 		t.Errorf("Exynos5 %.2f GF/W not >=10x Tegra2 %.2f GF/W", exynosEff, tegraEff)
 	}

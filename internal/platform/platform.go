@@ -112,9 +112,13 @@ type Platform struct {
 
 	RAMBytes int64
 
-	// Power is the conservative envelope the paper accounts: full board
-	// power for the Snowball (2.5 W), full TDP for the Xeon (95 W).
-	Power power.Model
+	// Power is the machine's state-resolved power profile. Its Compute
+	// draw is the conservative envelope the paper accounts — full board
+	// power for the Snowball (2.5 W), full TDP for the Xeon (95 W) —
+	// and machines without a calibrated per-state section carry the
+	// uniform profile, which reproduces the paper's constant model
+	// exactly.
+	Power power.Profile
 
 	// MemBandwidth is the sustained stream bandwidth to DRAM in bytes/s
 	// (per node, all cores).
@@ -249,7 +253,7 @@ func (p *Platform) Topology() *topo.Object {
 func (p *Platform) String() string {
 	return fmt.Sprintf("%s: %d x %s @ %.2fGHz, %s RAM, %.1fW",
 		p.Name, p.Cores, p.CPU.Name, p.CPU.ClockHz/1e9,
-		units.Bytes(p.RAMBytes), p.Power.Watts)
+		units.Bytes(p.RAMBytes), p.Power.Compute)
 }
 
 // Snowball returns the Calao Snowball board model: dual-core A9500 at

@@ -149,10 +149,10 @@ func TestIntThroughputRatio(t *testing.T) {
 }
 
 func TestPowerEnvelopes(t *testing.T) {
-	if w := Snowball().Power.Watts; w != 2.5 {
+	if w := Snowball().Power.Compute; w != 2.5 {
 		t.Errorf("Snowball power = %v, want 2.5", w)
 	}
-	if w := XeonX5550().Power.Watts; w != 95 {
+	if w := XeonX5550().Power.Compute; w != 95 {
 		t.Errorf("Xeon power = %v, want 95", w)
 	}
 }

@@ -102,11 +102,11 @@ func TestLookupSpecReturnsDeepCopy(t *testing.T) {
 // spec-built values field for field — the byte-identical-output
 // guarantee for every existing experiment rests on this.
 func TestBuiltinSpecsBuildHistoricalPlatforms(t *testing.T) {
-	if p := Snowball(); p.Power.Watts != 2.5 || p.Power.Name != "Snowball" ||
+	if p := Snowball(); p.Power.Compute != 2.5 || p.Power.Name != "Snowball" ||
 		p.CPU.Name != "A9500" || p.Cores != 2 || p.RAMBytes != 796*units.MiB {
 		t.Errorf("Snowball drifted: %+v", p)
 	}
-	if p := XeonX5550(); p.Power.Name != "Xeon" || p.Power.Watts != 95 ||
+	if p := XeonX5550(); p.Power.Name != "Xeon" || p.Power.Compute != 95 ||
 		p.CPU.Name != "Nehalem" || len(p.Caches) != 3 {
 		t.Errorf("XeonX5550 drifted: %+v", p)
 	}
@@ -114,7 +114,7 @@ func TestBuiltinSpecsBuildHistoricalPlatforms(t *testing.T) {
 		p.CPU.ClockHz != 1.7e9 || !p.CPU.OutOfOrder {
 		t.Errorf("Exynos5Dual drifted: %+v", p)
 	}
-	if p := Tegra2Node(); p.Power.Name != "Tegra2Node" || p.Power.Watts != 8.5 ||
+	if p := Tegra2Node(); p.Power.Name != "Tegra2Node" || p.Power.Compute != 8.5 ||
 		p.CPU.Name != "Tegra2" {
 		t.Errorf("Tegra2Node drifted: %+v", p)
 	}
@@ -214,7 +214,7 @@ func TestLoadSpecFileRegistersMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.CPU.Name != "A9500" || p.Power.Watts != 2.5 {
+	if p.CPU.Name != "A9500" || p.Power.Compute != 2.5 {
 		t.Errorf("file-defined machine drifted: %+v", p)
 	}
 }
@@ -355,7 +355,7 @@ func TestNewGenerationPlatforms(t *testing.T) {
 	if mb.RAMBytes != 4*units.GiB {
 		t.Errorf("MontBlancNode RAM = %d, want 4 GiB per card", mb.RAMBytes)
 	}
-	if mb.Power.Watts <= Exynos5Dual().Power.Watts {
+	if mb.Power.Compute <= Exynos5Dual().Power.Compute {
 		t.Error("node-level envelope must exceed the bare SoC's 5 W")
 	}
 }

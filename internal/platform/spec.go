@@ -27,11 +27,19 @@ type Spec struct {
 
 	RAMBytes int64 `json:"ram_bytes"`
 
-	// PowerName overrides the power model's name when it historically
+	// PowerName overrides the power profile's name when it historically
 	// differs from the platform name (e.g. the Xeon's envelope is named
 	// "Xeon"); empty means the platform name.
-	PowerName string  `json:"power_name,omitempty"`
-	Watts     float64 `json:"watts"`
+	PowerName string `json:"power_name,omitempty"`
+	// Watts is the constant envelope the paper accounts (§III.C): full
+	// board power for the Snowball, full TDP for the Xeon. It doubles as
+	// the profile's compute (full-load) draw.
+	Watts float64 `json:"watts"`
+
+	// Power is the optional state-resolved power section. Absent, the
+	// machine gets the paper's uniform constant model: every state
+	// charged the Watts envelope.
+	Power *PowerSpec `json:"power,omitempty"`
 
 	MemBandwidth     float64 `json:"mem_bandwidth"`
 	MemLatencyCycles int     `json:"mem_latency_cycles"`
@@ -65,26 +73,63 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// clone returns a deep copy: the Caches slice and Accel pointer are
-// duplicated, so neither side can mutate the other. The registry
-// stores and hands out clones only — a caller tweaking a looked-up
-// spec (the copy-builtin-and-edit pattern) must never write through
-// into the registered machines.
+// PowerSpec is the serializable state-resolved power section of a
+// Spec: the watts the machine draws while idle, in memory-bound phases
+// and while communicating. The compute (full-load) draw defaults to the
+// spec's Watts envelope; setting it to anything else is rejected so the
+// two fields can never silently disagree. Calibration sources for the
+// built-in machines are documented in PLATFORMS.md.
+type PowerSpec struct {
+	IdleWatts    float64 `json:"idle_watts"`
+	ComputeWatts float64 `json:"compute_watts,omitempty"`
+	MemoryWatts  float64 `json:"memory_watts"`
+	CommWatts    float64 `json:"comm_watts"`
+}
+
+// clone returns a deep copy: the Caches slice and the Accel and Power
+// pointers are duplicated, so neither side can mutate the other. The
+// registry stores and hands out clones only — a caller tweaking a
+// looked-up spec (the copy-builtin-and-edit pattern) must never write
+// through into the registered machines.
 func (s Spec) clone() Spec {
 	s.Caches = append([]cache.Config(nil), s.Caches...)
 	if s.Accel != nil {
 		a := *s.Accel
 		s.Accel = &a
 	}
+	if s.Power != nil {
+		p := *s.Power
+		s.Power = &p
+	}
 	return s
 }
 
-// powerName returns the name the built power.Model carries.
+// powerName returns the name the built power.Profile carries.
 func (s Spec) powerName() string {
 	if s.PowerName != "" {
 		return s.PowerName
 	}
 	return s.Name
+}
+
+// Profile resolves the spec's power model: the uniform constant
+// envelope when no power section is given, the state-resolved profile
+// otherwise (compute defaulting to the envelope).
+func (s Spec) Profile() power.Profile {
+	if s.Power == nil {
+		return power.Uniform(s.powerName(), s.Watts)
+	}
+	cw := s.Power.ComputeWatts
+	if cw == 0 {
+		cw = s.Watts
+	}
+	return power.Profile{
+		Name:    s.powerName(),
+		Idle:    s.Power.IdleWatts,
+		Compute: cw,
+		Memory:  s.Power.MemoryWatts,
+		Comm:    s.Power.CommWatts,
+	}
 }
 
 // Build constructs a fresh Platform from the spec and validates it.
@@ -102,7 +147,7 @@ func (s Spec) Build() (*Platform, error) {
 		Cores:            s.Cores,
 		ISA:              s.ISA,
 		RAMBytes:         s.RAMBytes,
-		Power:            power.Model{Name: s.powerName(), Watts: s.Watts},
+		Power:            s.Profile(),
 		MemBandwidth:     s.MemBandwidth,
 		MemLatencyCycles: s.MemLatencyCycles,
 		Caches:           append([]cache.Config(nil), s.Caches...),
@@ -128,6 +173,15 @@ func (s Spec) Validate() error {
 	}
 	if s.Watts <= 0 {
 		return fmt.Errorf("platform: spec %s: power envelope %g W", s.Name, s.Watts)
+	}
+	if s.Power != nil {
+		if cw := s.Power.ComputeWatts; cw != 0 && cw != s.Watts {
+			return fmt.Errorf("platform: spec %s: power section compute_watts %g conflicts with watts envelope %g",
+				s.Name, cw, s.Watts)
+		}
+		if err := s.Profile().Validate(); err != nil {
+			return fmt.Errorf("platform: spec %s: %w", s.Name, err)
+		}
 	}
 	if s.TLBEntries < 0 || s.TLBMissPenalty < 0 {
 		return fmt.Errorf("platform: spec %s: negative TLB parameters", s.Name)

@@ -1,36 +1,18 @@
-// Package power implements the paper's deliberately conservative energy
-// model (§III.C): the Snowball board is charged its full 2.5 W USB power
-// envelope, the Xeon its full 95 W TDP — "highly unfavorable for the ARM
-// platform", yet ARM still wins on several workloads.
+// Package power implements the energy models of the reproduction. The
+// paper's deliberately conservative accounting (§III.C) charges the
+// Snowball board its full 2.5 W USB power envelope and the Xeon its full
+// 95 W TDP — "highly unfavorable for the ARM platform", yet ARM still
+// wins on several workloads. That constant model is the uniform special
+// case of the state-resolved Profile (profile.go), which additionally
+// distinguishes idle, compute, memory and communication draw for
+// phase-resolved energy integration.
 package power
-
-import "fmt"
-
-// Model is a constant-power energy model for one platform.
-type Model struct {
-	Name  string
-	Watts float64 // power accounted while the workload runs
-}
-
-// Energy returns the energy in joules to run for the given seconds.
-func (m Model) Energy(seconds float64) float64 { return m.Watts * seconds }
-
-// EnergyPerOp returns joules per unit of work given a rate in ops/s.
-func (m Model) EnergyPerOp(opsPerSecond float64) float64 {
-	if opsPerSecond <= 0 {
-		return 0
-	}
-	return m.Watts / opsPerSecond
-}
-
-// String describes the model.
-func (m Model) String() string { return fmt.Sprintf("%s(%.1fW)", m.Name, m.Watts) }
 
 // EnergyRatioByTime returns the paper's "Energy Ratio" column for
 // time-to-solution workloads: energy(candidate)/energy(reference) when
 // both run the same problem. A value below 1 means the candidate
 // (the ARM board) needs less energy.
-func EnergyRatioByTime(candidate Model, candidateSeconds float64, reference Model, referenceSeconds float64) float64 {
+func EnergyRatioByTime(candidate Profile, candidateSeconds float64, reference Profile, referenceSeconds float64) float64 {
 	refE := reference.Energy(referenceSeconds)
 	if refE == 0 {
 		return 0
@@ -41,7 +23,7 @@ func EnergyRatioByTime(candidate Model, candidateSeconds float64, reference Mode
 // EnergyRatioByRate returns the energy ratio for throughput workloads
 // (LINPACK MFLOPS, CoreMark ops/s): joules-per-op(candidate) over
 // joules-per-op(reference).
-func EnergyRatioByRate(candidate Model, candidateRate float64, reference Model, referenceRate float64) float64 {
+func EnergyRatioByRate(candidate Profile, candidateRate float64, reference Profile, referenceRate float64) float64 {
 	refJ := reference.EnergyPerOp(referenceRate)
 	if refJ == 0 {
 		return 0

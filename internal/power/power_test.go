@@ -6,8 +6,8 @@ import (
 )
 
 var (
-	snowball = Model{Name: "Snowball", Watts: 2.5}
-	xeon     = Model{Name: "Xeon", Watts: 95}
+	snowball = Uniform("Snowball", 2.5)
+	xeon     = Uniform("Xeon", 95)
 )
 
 func TestEnergy(t *testing.T) {
@@ -49,7 +49,7 @@ func TestTable2EnergyRatios(t *testing.T) {
 }
 
 func TestEnergyRatioZeroReference(t *testing.T) {
-	if r := EnergyRatioByTime(snowball, 10, Model{}, 0); r != 0 {
+	if r := EnergyRatioByTime(snowball, 10, Profile{}, 0); r != 0 {
 		t.Errorf("ratio with zero reference = %v", r)
 	}
 	if r := EnergyRatioByRate(snowball, 10, xeon, 0); r != 0 {

@@ -1,0 +1,103 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+// tx2 is a non-uniform profile shaped like the ThunderX2 study
+// (arXiv:2007.04868): idle and load diverge by more than 3x.
+var tx2 = Profile{Name: "TX2", Idle: 55, Compute: 175, Memory: 150, Comm: 95}
+
+func TestUniformIsTheConstantModel(t *testing.T) {
+	p := Uniform("Snowball", 2.5)
+	if !p.IsUniform() {
+		t.Fatal("Uniform profile not reported uniform")
+	}
+	for _, s := range States() {
+		if w := p.Watts(s); w != 2.5 {
+			t.Errorf("Watts(%s) = %v, want 2.5", s, w)
+		}
+	}
+	// Whole-run accounting and per-state integration agree everywhere.
+	if e := p.Energy(10); e != 25 {
+		t.Errorf("Energy(10) = %v, want 25", e)
+	}
+	for _, s := range States() {
+		if e := p.EnergyIn(s, 10); e != 25 {
+			t.Errorf("EnergyIn(%s, 10) = %v, want 25", s, e)
+		}
+	}
+	if j := p.EnergyPerOp(2.5); j != 1 {
+		t.Errorf("EnergyPerOp = %v, want 1", j)
+	}
+}
+
+func TestProfileStates(t *testing.T) {
+	want := map[State]float64{
+		StateIdle: 55, StateCompute: 175, StateMemory: 150, StateComm: 95,
+	}
+	for s, w := range want {
+		if got := tx2.Watts(s); got != w {
+			t.Errorf("Watts(%s) = %v, want %v", s, got, w)
+		}
+	}
+	if tx2.IsUniform() {
+		t.Error("non-uniform profile reported uniform")
+	}
+	// Whole-run accounting still charges the envelope (§III.C).
+	if e := tx2.Energy(2); e != 350 {
+		t.Errorf("Energy(2) = %v, want 350", e)
+	}
+	if e := tx2.EnergyIn(StateIdle, 2); e != 110 {
+		t.Errorf("EnergyIn(idle, 2) = %v, want 110", e)
+	}
+	if State(99).String() != "State(99)" {
+		t.Errorf("unknown state string = %q", State(99))
+	}
+}
+
+func TestProfileScale(t *testing.T) {
+	half := tx2.Scale(0.5)
+	if half.Idle != 27.5 || half.Compute != 87.5 || half.Memory != 75 || half.Comm != 47.5 {
+		t.Errorf("Scale(0.5) = %+v", half)
+	}
+	if half.Name != tx2.Name {
+		t.Errorf("Scale lost the name: %q", half.Name)
+	}
+	// Scale returns a copy; the receiver is untouched.
+	if tx2.Compute != 175 {
+		t.Errorf("Scale mutated receiver: %+v", tx2)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := tx2.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := Uniform("ok", 5).Validate(); err != nil {
+		t.Errorf("uniform profile rejected: %v", err)
+	}
+	bad := []Profile{
+		{Name: "zero", Idle: 0, Compute: 5, Memory: 5, Comm: 5},
+		{Name: "neg", Idle: 1, Compute: -5, Memory: 5, Comm: 5},
+		{Name: "inverted", Idle: 10, Compute: 5, Memory: 12, Comm: 12},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %s validated", p.Name)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if s := Uniform("Xeon", 95).String(); s != "Xeon(95.0W)" {
+		t.Errorf("uniform String = %q", s)
+	}
+	s := tx2.String()
+	for _, frag := range []string{"TX2", "idle 55.0W", "compute 175.0W", "mem 150.0W", "comm 95.0W"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String = %q, missing %q", s, frag)
+		}
+	}
+}

@@ -165,6 +165,18 @@ func (p *Proc) ComputeFlops(flops float64, label string) {
 	p.Compute(flops/p.w.cfg.CoreFlopsPerSec, label)
 }
 
+// Stall advances the virtual clock by seconds of memory-bound work
+// (cores waiting on DRAM), recorded as a memory interval so
+// phase-resolved power accounting can charge it at memory watts.
+func (p *Proc) Stall(seconds float64, label string) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	start := p.now
+	p.now += seconds
+	p.record(trace.StateMemory, label, start)
+}
+
 func (p *Proc) record(kind trace.Kind, name string, start float64) {
 	if p.tr == nil {
 		return

@@ -85,27 +85,39 @@ func Max(xs []float64) float64 {
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics.
+// interpolation between order statistics. It copies and sorts the
+// sample on every call; callers taking several quantiles of the same
+// data should sort once and use SortedQuantile.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return SortedQuantile(s, q)
+}
+
+// SortedQuantile is Quantile's fast path: xs must already be sorted
+// ascending. No copy, no sort — the repeated-quantile callers
+// (Summarize, the collective-delay analyses) pay for one sort total.
+func SortedQuantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
 	if q <= 0 {
-		return s[0]
+		return xs[0]
 	}
 	if q >= 1 {
-		return s[len(s)-1]
+		return xs[len(xs)-1]
 	}
-	pos := q * float64(len(s)-1)
+	pos := q * float64(len(xs)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s[lo]
+		return xs[lo]
 	}
 	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Summary bundles the usual descriptive statistics of a sample.
@@ -118,16 +130,26 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. Min, Median and Max come from a
+// single sorted copy instead of three independent scans and sorts.
 func Summarize(xs []float64) Summary {
-	return Summary{
+	sum := Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),
 		StdDev: StdDev(xs),
-		Min:    Min(xs),
-		Median: Median(xs),
-		Max:    Max(xs),
+		Min:    math.NaN(),
+		Median: math.NaN(),
+		Max:    math.NaN(),
 	}
+	if len(xs) == 0 {
+		return sum
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum.Min = s[0]
+	sum.Median = SortedQuantile(s, 0.5)
+	sum.Max = s[len(s)-1]
+	return sum
 }
 
 // LinearFit holds the result of an ordinary-least-squares line fit
@@ -146,7 +168,6 @@ func FitLinear(xs, ys []float64) (LinearFit, error) {
 	if len(xs) < 2 {
 		return LinearFit{}, ErrEmpty
 	}
-	n := float64(len(xs))
 	mx, my := Mean(xs), Mean(ys)
 	var sxx, sxy, syy float64
 	for i := range xs {
@@ -169,7 +190,6 @@ func FitLinear(xs, ys []float64) (LinearFit, error) {
 	} else {
 		fit.R2 = 1
 	}
-	_ = n
 	return fit, nil
 }
 
@@ -236,9 +256,12 @@ func TwoModes(xs []float64) Modes {
 		m.Centers = []float64{m.Low, m.High}
 		return m
 	}
-	// Initialize centers at the 10th and 90th percentiles, then Lloyd
-	// iterations; 1-D k-means converges in a handful of steps.
-	lo, hi := Quantile(xs, 0.1), Quantile(xs, 0.9)
+	// Initialize centers at the 10th and 90th percentiles (one sort for
+	// both), then Lloyd iterations; 1-D k-means converges in a handful
+	// of steps.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	lo, hi := SortedQuantile(sorted, 0.1), SortedQuantile(sorted, 0.9)
 	if lo == hi {
 		hi = lo + 1e-12
 	}

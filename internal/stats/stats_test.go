@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -241,5 +242,51 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// SortedQuantile must agree exactly with Quantile on pre-sorted data —
+// it is the same interpolation minus the copy and sort.
+func TestSortedQuantileMatchesQuantile(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for q := -0.1; q <= 1.1; q += 0.07 {
+			a, b := Quantile(xs, q), SortedQuantile(sorted, q)
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(SortedQuantile(nil, 0.5)) {
+		t.Error("empty SortedQuantile should be NaN")
+	}
+}
+
+// Summarize's single-sort path must match the individual statistics.
+func TestSummarizeSingleSortMatches(t *testing.T) {
+	xs := []float64{5, 1, 4, 1, 3}
+	s := Summarize(xs)
+	if s.Min != Min(xs) || s.Max != Max(xs) || s.Median != Median(xs) {
+		t.Errorf("Summarize = %+v, want min/median/max %v/%v/%v",
+			s, Min(xs), Median(xs), Max(xs))
+	}
+	// The input is not mutated (the sort works on a copy).
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("Summarize mutated its input: %v", xs)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Min) || !math.IsNaN(empty.Median) || !math.IsNaN(empty.Max) {
+		t.Errorf("empty Summarize = %+v", empty)
 	}
 }

@@ -19,13 +19,18 @@ import (
 // Kind classifies a state interval.
 type Kind int
 
-// Interval kinds.
+// Interval kinds. StateMemory extends the historical set for runs that
+// distinguish memory-bound phases from compute; it is appended after
+// the original kinds so their values stay put. The external contract is
+// the kind *names*: ExportCSV encodes kinds by String(), so new kinds
+// need fresh names, not fresh numbers.
 const (
 	StateCompute Kind = iota
 	StateSend
 	StateRecv
 	StateCollective
 	StateIdle
+	StateMemory
 )
 
 // String names the kind.
@@ -41,6 +46,8 @@ func (k Kind) String() string {
 		return "collective"
 	case StateIdle:
 		return "idle"
+	case StateMemory:
+		return "memory"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -57,6 +64,8 @@ func (k Kind) glyph() rune {
 		return '<'
 	case StateCollective:
 		return 'A'
+	case StateMemory:
+		return 'm'
 	default:
 		return ' '
 	}
@@ -348,7 +357,7 @@ func csvEscape(s string) string {
 // Gantt renders the trace as an ASCII timeline, one row per rank,
 // sampling the dominant state of each of width time buckets:
 //
-//	'=' compute   '>' send   '<' recv   'A' collective   ' ' idle
+//	'=' compute   '>' send   '<' recv   'A' collective   'm' memory   ' ' idle
 func (t *Trace) Gantt(width int) string {
 	if width <= 0 {
 		width = 80
@@ -365,8 +374,20 @@ func (t *Trace) Gantt(width int) string {
 		if iv.Rank < 0 || iv.Rank >= t.Ranks {
 			continue
 		}
+		// An inverted interval, or one lying wholly outside [0, makespan],
+		// carries no drawable time — skip it, exactly as EnergyByState
+		// drops it from the accounting.
+		if iv.End < iv.Start || iv.End <= 0 || iv.Start >= total {
+			continue
+		}
+		// Clamp both bucket indexes to [0, width-1]: a partially
+		// out-of-range interval (negative Start, or an End beyond the
+		// makespan after a bad Merge) must not index outside the row.
 		lo := int(iv.Start / total * float64(width))
 		hi := int(iv.End / total * float64(width))
+		if lo < 0 {
+			lo = 0
+		}
 		if hi >= width {
 			hi = width - 1
 		}
