@@ -5,6 +5,7 @@
 package montblanc
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"montblanc/internal/magicfilter"
 	"montblanc/internal/mem"
 	"montblanc/internal/membench"
+	"montblanc/internal/network"
 	"montblanc/internal/osmodel"
 	"montblanc/internal/platform"
 	"montblanc/internal/simmpi"
@@ -384,6 +386,146 @@ func BenchmarkAblationAlltoallvSchedule(b *testing.B) {
 		pairwise = run(simmpi.AlltoallvPairwise)
 	}
 	b.ReportMetric(linear/pairwise, "linear-vs-pairwise")
+}
+
+// --- simmpi discrete-event core -----------------------------------------------
+
+// simPingPongRounds is the number of round trips one
+// BenchmarkSimMPIPingPong iteration runs; each round commits 4
+// Send/Recv operations (2 ranks x send + recv).
+const simPingPongRounds = 1000
+
+// BenchmarkSimMPIPingPong measures the scheduler's point-to-point hot
+// path: two ranks exchanging eager messages. Run with -benchmem; the
+// allocs/op figure divided by ops/iter is the per-operation allocation
+// cost the internal/simmpi AllocsPerRun guard pins.
+func BenchmarkSimMPIPingPong(b *testing.B) {
+	net := network.Star(2)
+	for i := 0; i < b.N; i++ {
+		net.Reset()
+		_, err := simmpi.Run(simmpi.Config{Ranks: 2, Net: net}, func(p *simmpi.Proc) error {
+			for r := 0; r < simPingPongRounds; r++ {
+				if p.Rank() == 0 {
+					if err := p.Send(1, 1, 1024); err != nil {
+						return err
+					}
+					if err := p.Recv(1, 2); err != nil {
+						return err
+					}
+				} else {
+					if err := p.Recv(0, 1); err != nil {
+						return err
+					}
+					if err := p.Send(0, 2, 1024); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ops := float64(4 * simPingPongRounds)
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkSimMPIAlltoallv measures the collective-heavy path at a
+// realistic Tibidabo scale: 64 ranks of all-to-all exchange. The
+// pairwise schedule keeps one or two mailbox queues live per rank; the
+// linear schedule is the Figure 4 incast — every rank floods each
+// destination in turn, opening O(ranks) concurrent mailbox queues, the
+// case the mailbox key index exists for.
+func BenchmarkSimMPIAlltoallv(b *testing.B) {
+	const ranks, per = 64, 2
+	for _, algo := range []struct {
+		name string
+		a    simmpi.AlltoallvAlgorithm
+	}{
+		{"pairwise", simmpi.AlltoallvPairwise},
+		{"linear-incast", simmpi.AlltoallvLinear},
+	} {
+		b.Run(algo.name, func(b *testing.B) {
+			net := network.Tree(ranks/per, 32)
+			for i := 0; i < b.N; i++ {
+				net.Reset()
+				_, err := simmpi.Run(simmpi.Config{Ranks: ranks, Net: net, RanksPerNode: per},
+					func(p *simmpi.Proc) error {
+						counts := make([]int, p.Size())
+						for j := range counts {
+							counts[j] = 4 << 10
+						}
+						return p.Alltoallv(counts, algo.a)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			ops := float64(2 * ranks * (ranks - 1))
+			b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// simRingIters drives the rank-scaling benchmark body: per iteration a
+// neighbour ring shift plus an allreduce, i.e. O(ranks * log ranks)
+// events per sweep — the regime where the seed scheduler's O(ranks)
+// commit scan turns superlinear and the event heap stays O(log ranks).
+func simRingIters(p *simmpi.Proc, iters, bytes int) error {
+	next := (p.Rank() + 1) % p.Size()
+	prev := (p.Rank() - 1 + p.Size()) % p.Size()
+	for it := 0; it < iters; it++ {
+		if err := p.Send(next, 1+it%16, bytes); err != nil {
+			return err
+		}
+		if err := p.Recv(prev, 1+it%16); err != nil {
+			return err
+		}
+		if err := p.Allreduce(1024); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkSimMPIRankScaling pins the scheduler's scaling behaviour from
+// 32 to 512 ranks (the Mont-Blanc follow-on regimes: arXiv:1508.05075,
+// arXiv:2007.04868 evaluate at hundreds-to-thousands of cores). The
+// committed-events/s metric should be roughly flat across rank counts
+// for an O(log R) scheduler and collapse for an O(R) one.
+func BenchmarkSimMPIRankScaling(b *testing.B) {
+	const per = 2
+	const iters = 20
+	for _, ranks := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			nodes := (ranks + per - 1) / per
+			var net *network.Network
+			if nodes <= 32 {
+				net = network.Star(nodes)
+			} else {
+				net = network.Tree(nodes, 32)
+			}
+			rounds := 0 // ops per allreduce: reduce+bcast tree depth
+			for k := 1; k < ranks; k <<= 1 {
+				rounds++
+			}
+			for i := 0; i < b.N; i++ {
+				net.Reset()
+				_, err := simmpi.Run(simmpi.Config{Ranks: ranks, Net: net, RanksPerNode: per},
+					func(p *simmpi.Proc) error {
+						return simRingIters(p, iters, 2048)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Rough committed-op count: ring send+recv per rank per iter,
+			// plus ~2 ops per allreduce tree level per rank.
+			ops := float64(iters*ranks*2) + float64(iters*ranks*2*rounds)
+			b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // --- Experiment runner --------------------------------------------------------

@@ -36,6 +36,16 @@
 // mini-app on every registered platform to split joules by execution
 // state. A uniform profile reproduces the constant model exactly.
 //
+// The simulator core (internal/simmpi) is a deterministic discrete-
+// event engine: an indexed min-heap commits operations in global
+// (virtual time, rank) order at O(log ranks) per event with an
+// allocation-free hot path, so the scale-ranks experiment and the
+// BenchmarkSimMPI* family can replay the Mont-Blanc follow-on regimes
+// (hundreds of ranks) in milliseconds. internal/simmpi/SIMMPI.md
+// documents the scheduler design and its determinism invariants; the
+// golden files under internal/experiments/testdata pin the quick-suite
+// bytes to the seed scheduler's output.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

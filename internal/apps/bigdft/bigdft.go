@@ -181,6 +181,10 @@ func timeDistributed(c *cluster.Cluster, ranks int, cfg ScalingConfig, collectTr
 		CoreFlopsPerSec: c.CoreFlops(true, kernelEfficiency(c.Node)),
 		MemoryBytes:     int64(3 * 8 * cfg.GridPoints), // field + two work arrays
 		CollectTrace:    collectTrace,
+		// Per iteration: one compute interval plus three linear
+		// alltoallv transposes, each 2*(ranks-1) send/recv intervals
+		// and a collective interval.
+		TraceHint: cfg.Iters * (1 + 3*(2*(ranks-1)+1)),
 	}
 	totalBytes := 8 * cfg.GridPoints
 	flopsPerRank := float64(cfg.GridPoints) * cfg.FlopsPerPoint / float64(ranks)

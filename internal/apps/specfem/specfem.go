@@ -327,6 +327,9 @@ func timeDistributed(c *cluster.Cluster, ranks int, cfg ScalingConfig, collectTr
 		CoreFlopsPerSec: c.CoreFlops(false, kernelEfficiency),
 		MemoryBytes:     cfg.MemoryBytes,
 		CollectTrace:    collectTrace,
+		// Per step: one compute interval plus a send and a recv per
+		// grid neighbour (at most four).
+		TraceHint: cfg.Steps * 9,
 	}
 	rows, cols := grid(ranks)
 	elemsPerRank := float64(cfg.Elems) / float64(ranks)

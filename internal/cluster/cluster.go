@@ -63,6 +63,11 @@ type JobConfig struct {
 	Ranks           int
 	CoreFlopsPerSec float64 // per-rank compute rate (precision-specific)
 	CollectTrace    bool
+	// TraceHint is the expected number of trace intervals one rank
+	// records, forwarded to the simulator as a buffer capacity hint
+	// (see simmpi.Config.TraceHint). Zero is fine; it never changes
+	// results.
+	TraceHint int
 	// MemoryBytes is the job's total footprint; the job must fit the
 	// nodes it spans (the paper's SPECFEM3D instance needs >= 2 nodes).
 	MemoryBytes int64
@@ -113,6 +118,7 @@ func (c *Cluster) Run(job JobConfig, body func(*simmpi.Proc) error) (*simmpi.Rep
 		RanksPerNode:    c.Node.Cores,
 		CoreFlopsPerSec: job.CoreFlopsPerSec,
 		CollectTrace:    job.CollectTrace,
+		TraceHint:       job.TraceHint,
 	}
 	return simmpi.Run(cfg, body)
 }

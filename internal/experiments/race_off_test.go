@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; the
+// quick-suite golden test skips under -race (the determinism suite
+// already covers the same code paths there).
+const raceEnabled = false

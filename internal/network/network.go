@@ -124,6 +124,14 @@ type Network struct {
 // New creates a network over numNodes nodes. route must return the link
 // path for any src != dst pair; links is the full link inventory (for
 // stats and reset).
+//
+// Allocation contract: Send/SendOpts only iterate the returned path and
+// never retain it past the call, so route may return a reused buffer
+// (the Star and Tree builders do, making the per-message send path
+// allocation-free). A Network already serializes no state across
+// concurrent Sends — link reservations mutate shared busyUntil fields —
+// so buffer reuse adds no new constraint: one simulation drives one
+// Network at a time.
 func New(numNodes int, links []*Link, route func(src, dst int) []*Link) *Network {
 	return &Network{NumNodes: numNodes, route: route, links: links}
 }
@@ -230,11 +238,13 @@ func Star(nodes int) *Network {
 		loop[i] = NewLink(fmt.Sprintf("node%d-loop", i), LoopbackBandwidth, LoopbackLatency, 0, 0)
 		all = append(all, up[i], down[i], loop[i])
 	}
+	// Reused path buffer: valid until the next route call (see New).
+	path := make([]*Link, 0, 2)
 	return New(nodes, all, func(src, dst int) []*Link {
 		if src == dst {
-			return []*Link{loop[src]}
+			return append(path[:0], loop[src])
 		}
-		return []*Link{up[src], down[dst]}
+		return append(path[:0], up[src], down[dst])
 	})
 }
 
@@ -268,15 +278,17 @@ func Tree(nodes, leafSize int) *Network {
 		all = append(all, leafUp[s], leafDown[s])
 	}
 	leafOf := func(node int) int { return node / leafSize }
+	// Reused path buffer: valid until the next route call (see New).
+	path := make([]*Link, 0, 4)
 	return New(nodes, all, func(src, dst int) []*Link {
 		if src == dst {
-			return []*Link{loop[src]}
+			return append(path[:0], loop[src])
 		}
 		ls, ld := leafOf(src), leafOf(dst)
 		if ls == ld {
-			return []*Link{up[src], down[dst]}
+			return append(path[:0], up[src], down[dst])
 		}
-		return []*Link{up[src], leafUp[ls], leafDown[ld], down[dst]}
+		return append(path[:0], up[src], leafUp[ls], leafDown[ld], down[dst])
 	})
 }
 

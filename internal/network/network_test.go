@@ -277,3 +277,41 @@ func TestNewLinkClampsBadValues(t *testing.T) {
 		t.Errorf("degenerate link produced %v", done)
 	}
 }
+
+// The send path must be allocation-free: the Star/Tree route closures
+// return a reused path buffer (see New's allocation contract), so a
+// simulation's per-message cost is pure arithmetic. Guards the
+// simmpi hot path's zero-alloc contract from below.
+func TestSendPathAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	for _, tc := range []struct {
+		name string
+		net  *Network
+	}{
+		{"star", Star(4)},
+		{"tree-intra-leaf", Tree(64, 32)},
+		{"tree-cross-leaf", Tree(64, 32)},
+		{"loopback", Star(4)},
+	} {
+		src, dst := 1, 2
+		switch tc.name {
+		case "tree-cross-leaf":
+			src, dst = 1, 40
+		case "loopback":
+			src, dst = 3, 3
+		}
+		now := 0.0
+		allocs := testing.AllocsPerRun(100, func() {
+			res, err := tc.net.Send(now, src, dst, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = res.Arrival
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Send allocates %.1f per message, want 0", tc.name, allocs)
+		}
+	}
+}

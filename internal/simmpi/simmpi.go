@@ -11,12 +11,18 @@
 // live rank has declared its next operation, so link reservations happen
 // in causal order regardless of goroutine scheduling. Running the same
 // program twice produces bit-identical timings and traces.
+//
+// The scheduler commits from an indexed min-heap of executable
+// operations in O(log Ranks) per event with an allocation-free
+// steady-state hot path; SIMMPI.md documents the design, the
+// determinism invariants, and the performance envelope.
 package simmpi
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"montblanc/internal/network"
 	"montblanc/internal/trace"
@@ -45,6 +51,14 @@ type Config struct {
 
 	// CollectTrace enables interval/communication recording.
 	CollectTrace bool
+
+	// TraceHint is an optional capacity hint: the expected number of
+	// trace intervals one rank records. When CollectTrace is set it
+	// presizes the per-rank interval buffers and the shared
+	// communication log, eliminating append regrowth on long runs. It
+	// never affects results, only allocation behaviour; zero (or
+	// tracing off) means no preallocation.
+	TraceHint int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +109,24 @@ const (
 	opExit
 )
 
+func (k opKind) String() string {
+	switch k {
+	case opSend:
+		return "send"
+	case opRecv:
+		return "recv"
+	case opExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("opKind(%d)", int(k))
+	}
+}
+
+// op is one rank's declared next operation. Each Proc owns exactly one
+// op struct for its whole lifetime (postBuf): because a rank blocks
+// until the scheduler resumes it, and the scheduler never touches an op
+// after sending the resume, the struct can be reused for every post —
+// the hot path allocates nothing per operation.
 type op struct {
 	kind          opKind
 	rank          int
@@ -105,6 +137,7 @@ type op struct {
 	matched       bool    // recv only
 	matchedMsg    msg
 	err           error // exit only
+	heapIdx       int   // position in the scheduler heap, -1 if outside
 }
 
 type msg struct {
@@ -113,19 +146,39 @@ type msg struct {
 	bytes   int
 }
 
-type mkey struct{ src, dst, tag int }
-
 type resumeMsg struct {
 	time    float64
 	dropped bool // recv only: the message was retransmitted en route
 }
 
+// hooks are test-only scheduler observation points; the zero value is
+// the production configuration.
+type hooks struct {
+	// linearScan replaces the heap pick with the seed scheduler's
+	// O(Ranks) scan over pending ops — the reference implementation the
+	// equivalence property suite compares commit orders against.
+	linearScan bool
+	// onCommit, when set, observes every committed operation in commit
+	// order.
+	onCommit func(kind opKind, rank int, ready float64)
+}
+
 type world struct {
-	cfg    Config
-	opCh   chan *op
-	resume []chan resumeMsg
-	mail   map[mkey][]msg
-	comms  []trace.Comm
+	cfg      Config
+	opCh     chan *op
+	resume   []chan resumeMsg
+	mail     []mailbox // indexed by destination rank
+	pending  []*op     // indexed by rank; nil when the rank has not declared
+	nPending int
+	heap     opHeap
+	comms    []trace.Comm
+	hooks    hooks
+
+	// Interned trace labels, indexed by peer rank (built only when
+	// CollectTrace is set): one "send->N" / "recv<-N" string per rank
+	// for the whole run instead of one fmt.Sprintf per message.
+	sendLabels []string
+	recvLabels []string
 }
 
 func (w *world) node(rank int) int { return rank / w.cfg.RanksPerNode }
@@ -139,6 +192,7 @@ type Proc struct {
 	tr           *trace.Trace
 	collSeq      map[string]int
 	droppedRecvs int // running count of retransmitted messages received
+	postBuf      op  // the rank's reusable operation struct
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -186,11 +240,20 @@ func (p *Proc) record(kind trace.Kind, name string, start float64) {
 	})
 }
 
-// post submits an operation and blocks until the scheduler completes it,
-// returning the rank's new clock and the recv-drop flag.
-func (p *Proc) post(o *op) resumeMsg {
+// post submits an operation through the rank's reusable op struct and
+// blocks until the scheduler completes it. The scheduler owns the
+// struct from the channel send until it resumes the rank; it never
+// touches the op afterwards, so the next post may safely overwrite it.
+func (p *Proc) post(kind opKind, src, dst, tag, bytes int) resumeMsg {
+	o := &p.postBuf
+	o.kind = kind
 	o.rank = p.rank
 	o.time = p.now
+	o.src, o.dst, o.tag = src, dst, tag
+	o.bytes = bytes
+	o.matched = false
+	o.matchedMsg = msg{}
+	o.err = nil
 	p.w.opCh <- o
 	return <-p.w.resume[p.rank]
 }
@@ -206,8 +269,10 @@ func (p *Proc) Send(dst, tag, bytes int) error {
 		return fmt.Errorf("simmpi: negative send size %d", bytes)
 	}
 	start := p.now
-	p.now = p.post(&op{kind: opSend, dst: dst, tag: tag, bytes: bytes}).time
-	p.record(trace.StateSend, fmt.Sprintf("send->%d", dst), start)
+	p.now = p.post(opSend, 0, dst, tag, bytes).time
+	if p.tr != nil {
+		p.record(trace.StateSend, p.w.sendLabels[dst], start)
+	}
 	return nil
 }
 
@@ -217,12 +282,14 @@ func (p *Proc) Recv(src, tag int) error {
 		return fmt.Errorf("simmpi: recv from invalid rank %d", src)
 	}
 	start := p.now
-	r := p.post(&op{kind: opRecv, src: src, tag: tag, ready: math.Inf(1)})
+	r := p.post(opRecv, src, 0, tag, 0)
 	p.now = r.time
 	if r.dropped {
 		p.droppedRecvs++
 	}
-	p.record(trace.StateRecv, fmt.Sprintf("recv<-%d", src), start)
+	if p.tr != nil {
+		p.record(trace.StateRecv, p.w.recvLabels[src], start)
+	}
 	return nil
 }
 
@@ -240,7 +307,7 @@ func (p *Proc) Collective(name string, body func() error) error {
 	if p.tr != nil {
 		p.tr.AddInterval(trace.Interval{
 			Rank: p.rank, Kind: trace.StateCollective,
-			Name: fmt.Sprintf("%s#%d", name, seq), Start: start, End: p.now,
+			Name: name + "#" + strconv.Itoa(seq), Start: start, End: p.now,
 			Dropped: p.droppedRecvs - dropsBefore,
 		})
 	}
@@ -250,15 +317,38 @@ func (p *Proc) Collective(name string, body func() error) error {
 // Run executes body on every rank of a fresh world and returns the
 // report. Any rank error aborts with that error (lowest rank wins).
 func Run(cfg Config, body func(*Proc) error) (*Report, error) {
+	return run(cfg, body, hooks{})
+}
+
+// run is Run with scheduler hooks (production callers pass the zero
+// value via Run; tests use the hooks to compare pickers and observe
+// commit order).
+func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	w := &world{
-		cfg:    cfg,
-		opCh:   make(chan *op),
-		resume: make([]chan resumeMsg, cfg.Ranks),
-		mail:   map[mkey][]msg{},
+		cfg:     cfg,
+		opCh:    make(chan *op),
+		resume:  make([]chan resumeMsg, cfg.Ranks),
+		mail:    make([]mailbox, cfg.Ranks),
+		pending: make([]*op, cfg.Ranks),
+		hooks:   h,
+	}
+	w.heap.a = make([]*op, 0, cfg.Ranks)
+	if cfg.CollectTrace {
+		w.sendLabels = make([]string, cfg.Ranks)
+		w.recvLabels = make([]string, cfg.Ranks)
+		for i := range w.sendLabels {
+			n := strconv.Itoa(i)
+			w.sendLabels[i] = "send->" + n
+			w.recvLabels[i] = "recv<-" + n
+		}
+		if cfg.TraceHint > 0 {
+			// Roughly half a rank's intervals are sends, each one comm.
+			w.comms = make([]trace.Comm, 0, cfg.Ranks*cfg.TraceHint/2)
+		}
 	}
 	procs := make([]*Proc, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -266,6 +356,9 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 		p := &Proc{rank: r, size: cfg.Ranks, w: w, collSeq: map[string]int{}}
 		if cfg.CollectTrace {
 			p.tr = trace.New(cfg.Ranks)
+			if cfg.TraceHint > 0 {
+				p.tr.Reserve(cfg.TraceHint, 0)
+			}
 		}
 		procs[r] = p
 		go func(p *Proc) {
@@ -278,42 +371,46 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 				}()
 				err = body(p)
 			}()
-			p.w.opCh <- &op{kind: opExit, rank: p.rank, time: p.now, err: err}
+			// The body has returned: its final post (if any) is fully
+			// committed, so the reusable op struct is free for the exit.
+			o := &p.postBuf
+			*o = op{kind: opExit, rank: p.rank, time: p.now, err: err}
+			p.w.opCh <- o
 		}(p)
 	}
 
-	pending := map[int]*op{}
 	endTimes := make([]float64, cfg.Ranks)
 	rankErrs := make([]error, cfg.Ranks)
 	live := cfg.Ranks
 	netErr := error(nil)
 
 	for live > 0 && netErr == nil {
-		for len(pending) < live {
+		// Collect until every live rank has declared its next operation
+		// — the barrier that makes commit order independent of goroutine
+		// scheduling.
+		for w.nPending < live {
 			o := <-w.opCh
+			w.pending[o.rank] = o
+			w.nPending++
 			switch o.kind {
 			case opSend, opExit:
 				o.ready = o.time
+				w.enqueue(o)
 			case opRecv:
+				o.ready = math.Inf(1)
 				w.tryMatch(o)
 			}
-			pending[o.rank] = o
 		}
-		// Pick the executable op with the smallest (ready, rank).
-		var best *op
-		for r := 0; r < cfg.Ranks; r++ {
-			o, ok := pending[r]
-			if !ok || math.IsInf(o.ready, 1) {
-				continue
-			}
-			if best == nil || o.ready < best.ready {
-				best = o
-			}
-		}
+		// Commit the executable op with the smallest (ready, rank).
+		best := w.pick()
 		if best == nil {
-			return nil, deadlockError(pending)
+			return nil, w.deadlockError()
 		}
-		delete(pending, best.rank)
+		w.pending[best.rank] = nil
+		w.nPending--
+		if h.onCommit != nil {
+			h.onCommit(best.kind, best.rank, best.ready)
+		}
 		switch best.kind {
 		case opSend:
 			res, err := w.deliver(best)
@@ -321,9 +418,8 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 				netErr = err
 				break
 			}
-			key := mkey{best.rank, best.dst, best.tag}
 			m := msg{arrival: res.Arrival, dropped: res.Dropped, bytes: best.bytes}
-			w.mail[key] = append(w.mail[key], m)
+			w.mail[best.dst].push(best.rank, best.tag, m)
 			if cfg.CollectTrace {
 				w.comms = append(w.comms, trace.Comm{
 					Src: best.rank, Dst: best.dst, Tag: best.tag, Bytes: best.bytes,
@@ -331,7 +427,7 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 				})
 			}
 			// A parked recv may now be satisfiable.
-			if ro, ok := pending[best.dst]; ok && ro.kind == opRecv && !ro.matched {
+			if ro := w.pending[best.dst]; ro != nil && ro.kind == opRecv && !ro.matched {
 				w.tryMatch(ro)
 			}
 			overhead := cfg.SendOverhead + float64(best.bytes)/cfg.CopyBandwidth
@@ -365,6 +461,11 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 	}
 	if cfg.CollectTrace {
 		tr := trace.New(cfg.Ranks)
+		nIntervals := 0
+		for _, p := range procs {
+			nIntervals += len(p.tr.Intervals)
+		}
+		tr.Reserve(nIntervals, len(w.comms))
 		for _, p := range procs {
 			tr.Merge(p.tr)
 		}
@@ -375,6 +476,34 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 	return rep, nil
 }
 
+// enqueue makes an executable op eligible for commit.
+func (w *world) enqueue(o *op) {
+	if w.hooks.linearScan {
+		return // the reference picker scans pending directly
+	}
+	w.heap.push(o)
+}
+
+// pick returns the executable pending op with the smallest
+// (ready, rank), or nil if none is executable.
+func (w *world) pick() *op {
+	if w.hooks.linearScan {
+		// Seed scheduler reference: O(Ranks) scan, lowest rank wins ties
+		// because later equal-ready ops do not displace the incumbent.
+		var best *op
+		for _, o := range w.pending {
+			if o == nil || math.IsInf(o.ready, 1) {
+				continue
+			}
+			if best == nil || o.ready < best.ready {
+				best = o
+			}
+		}
+		return best
+	}
+	return w.heap.pop()
+}
+
 // deliver pushes a send through the network, choosing eager or
 // rendezvous by size.
 func (w *world) deliver(o *op) (network.Result, error) {
@@ -382,35 +511,56 @@ func (w *world) deliver(o *op) (network.Result, error) {
 	return w.cfg.Net.SendOpts(o.time, w.node(o.rank), w.node(o.dst), o.bytes, opts)
 }
 
-// tryMatch completes a pending recv against the mailbox if possible.
+// tryMatch completes a pending recv against the mailbox if possible,
+// making it executable.
 func (w *world) tryMatch(o *op) {
-	key := mkey{o.src, o.rank, o.tag}
-	q := w.mail[key]
-	if len(q) == 0 {
+	m, ok := w.mail[o.rank].match(o.src, o.tag)
+	if !ok {
 		return
-	}
-	m := q[0]
-	if len(q) == 1 {
-		delete(w.mail, key)
-	} else {
-		w.mail[key] = q[1:]
 	}
 	o.matched = true
 	o.matchedMsg = m
 	o.ready = math.Max(o.time, m.arrival)
+	w.enqueue(o)
 }
 
-func deadlockError(pending map[int]*op) error {
+// describe renders the op for diagnostics.
+func (o *op) describe() string {
+	switch o.kind {
+	case opSend:
+		return fmt.Sprintf("send to %d tag %d (%d bytes)", o.dst, o.tag, o.bytes)
+	case opRecv:
+		return fmt.Sprintf("recv from %d tag %d", o.src, o.tag)
+	case opExit:
+		return "exit"
+	default:
+		return o.kind.String()
+	}
+}
+
+// deadlockError reports a state where every live rank has declared an
+// operation but none is executable. It names the lowest blocked rank's
+// actual pending operation — whatever its kind — and tallies the rest
+// by kind, so a stall is never misreported as a recv when something
+// else is stuck.
+func (w *world) deadlockError() error {
 	lowest := -1
-	for r := range pending {
-		if lowest == -1 || r < lowest {
+	kinds := [3]int{}
+	for r, o := range w.pending {
+		if o == nil {
+			continue
+		}
+		if lowest == -1 {
 			lowest = r
+		}
+		if int(o.kind) < len(kinds) {
+			kinds[o.kind]++
 		}
 	}
 	if lowest == -1 {
 		return errors.New("simmpi: deadlock with no pending operations")
 	}
-	o := pending[lowest]
-	return fmt.Errorf("simmpi: deadlock: rank %d waiting on recv from %d tag %d (and %d more ranks blocked)",
-		o.rank, o.src, o.tag, len(pending)-1)
+	o := w.pending[lowest]
+	return fmt.Errorf("simmpi: deadlock: rank %d waiting on %s (%d more ranks blocked; pending ops: %d send, %d recv, %d exit)",
+		lowest, o.describe(), w.nPending-1, kinds[opSend], kinds[opRecv], kinds[opExit])
 }

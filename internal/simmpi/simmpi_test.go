@@ -138,6 +138,28 @@ func TestDeadlockDetection(t *testing.T) {
 	}
 }
 
+func TestDeadlockReportsActualPendingOps(t *testing.T) {
+	// A three-rank recv cycle: the report must name rank 0's actual
+	// pending operation (source and tag) and tally the others by kind
+	// instead of assuming everything stuck is a recv.
+	_, err := Run(starConfig(3, 1), func(p *Proc) error {
+		if p.Rank() == 0 {
+			return p.Recv(2, 5)
+		}
+		return p.Recv(p.Rank()-1, 7)
+	})
+	if err == nil {
+		t.Fatal("recv cycle completed")
+	}
+	for _, want := range []string{
+		"deadlock", "rank 0", "recv from 2 tag 5", "2 more ranks blocked", "3 recv",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock error %q missing %q", err, want)
+		}
+	}
+}
+
 func TestRankErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
 	_, err := Run(starConfig(2, 1), func(p *Proc) error {

@@ -106,6 +106,23 @@ func New(ranks int) *Trace { return &Trace{Ranks: ranks} }
 // AddInterval appends a state interval.
 func (t *Trace) AddInterval(iv Interval) { t.Intervals = append(t.Intervals, iv) }
 
+// Reserve grows the interval and comm buffers to at least the given
+// total capacities, so recorders that know their event counts up front
+// (simmpi sizes them from its config) avoid append regrowth. It never
+// shrinks and never changes contents.
+func (t *Trace) Reserve(intervals, comms int) {
+	if n := len(t.Intervals); intervals > cap(t.Intervals) {
+		grown := make([]Interval, n, intervals)
+		copy(grown, t.Intervals)
+		t.Intervals = grown
+	}
+	if n := len(t.Comms); comms > cap(t.Comms) {
+		grown := make([]Comm, n, comms)
+		copy(grown, t.Comms)
+		t.Comms = grown
+	}
+}
+
 // AddComm appends a communication record.
 func (t *Trace) AddComm(c Comm) { t.Comms = append(t.Comms, c) }
 

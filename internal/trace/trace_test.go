@@ -174,3 +174,25 @@ func TestGanttIgnoresOutOfRangeRanks(t *testing.T) {
 		t.Errorf("gantt = %q", out)
 	}
 }
+
+func TestReserveGrowsWithoutChangingContents(t *testing.T) {
+	tr := New(2)
+	tr.AddInterval(Interval{Rank: 0, Kind: StateCompute, Start: 0, End: 1})
+	tr.AddComm(Comm{Src: 0, Dst: 1, Bytes: 10, Sent: 0, Arrived: 1})
+	tr.Reserve(100, 200)
+	if cap(tr.Intervals) < 100 || cap(tr.Comms) < 200 {
+		t.Errorf("Reserve did not grow: caps %d/%d", cap(tr.Intervals), cap(tr.Comms))
+	}
+	if len(tr.Intervals) != 1 || len(tr.Comms) != 1 {
+		t.Fatalf("Reserve changed lengths: %d/%d", len(tr.Intervals), len(tr.Comms))
+	}
+	if tr.Intervals[0].End != 1 || tr.Comms[0].Bytes != 10 {
+		t.Error("Reserve changed contents")
+	}
+	// Reserving less than current capacity must not shrink.
+	before := cap(tr.Intervals)
+	tr.Reserve(1, 1)
+	if cap(tr.Intervals) != before {
+		t.Error("Reserve shrank a buffer")
+	}
+}
