@@ -20,6 +20,17 @@
 //	montblanc -platform Snowball,ThunderX2 'sweep*'   # restrict sweep set
 //	montblanc -platform-file mymachine.json 'sweep*'  # add machines from JSON specs
 //	montblanc -quick energy-phases                    # joules by execution state
+//	montblanc -quick scale-membench                   # batched engine at 100s-of-MB scale
+//
+//	montblanc -cpuprofile cpu.pb.gz locality          # pprof CPU profile of any experiment
+//	montblanc -memprofile mem.pb.gz -quick all        # pprof allocation profile
+//
+// The -cpuprofile and -memprofile flags wrap the whole run in the
+// standard runtime/pprof collectors, so perf work on any experiment
+// needs no ad-hoc harness: run the experiment under a profile flag and
+// inspect the file with `go tool pprof`. The allocation profile is
+// written when the run finishes (after a final GC, so live-object
+// numbers are settled).
 //
 // Platform specs may carry a state-resolved "power" section (idle /
 // compute / memory / communication watts; see PLATFORMS.md). The
@@ -38,6 +49,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -53,9 +65,9 @@ func main() {
 }
 
 // run is main without the process-global bits, so tests can drive the
-// CLI in-process. It returns the exit code: 0 ok, 1 experiment failure,
-// 2 usage or unknown experiment.
-func run(args []string, stdout, stderr io.Writer) int {
+// CLI in-process. It returns the exit code: 0 ok, 1 experiment failure
+// (or a failed profile write at exit), 2 usage or unknown experiment.
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("montblanc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run reduced-size instances")
@@ -65,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timing := fs.Bool("time", false, "print a per-experiment timing summary to stderr")
 	platNames := fs.String("platform", "", "comma-separated registered platforms the sweep* experiments cover (default: all)")
 	platFile := fs.String("platform-file", "", "JSON platform spec file to register before running (one spec or an array)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 	fs.Usage = func() { usage(stderr, fs) }
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,6 +90,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return 2
+	}
+
+	// Profiles wrap the whole run — experiment selection, simulation and
+	// rendering — so any experiment can be profiled without an ad-hoc
+	// harness: `montblanc -cpuprofile cpu.pb.gz -quick locality`. Files
+	// are created eagerly so path errors fail the run up front; the
+	// deferred writers run on every exit path below. The memprofile
+	// defer is registered first so that (LIFO) StopCPUProfile runs
+	// before the heap settles and serializes — the allocation-profile
+	// GC must not be sampled into the CPU profile.
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // settle the heap so live objects are accurate
+			err := pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "montblanc:", err)
+				if code == 0 {
+					code = 1 // a truncated profile must not look like success
+				}
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "montblanc:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	if *platFile != "" {
@@ -270,6 +334,9 @@ registers additional machines from a JSON spec file. Specs may include
 a state-resolved "power" section (idle/compute/memory/comm watts, see
 PLATFORMS.md) used by the energy-phases experiment; without one a
 machine is charged its constant envelope, the paper's §III.C model.
+
+-cpuprofile and -memprofile write runtime/pprof profiles of the whole
+run (selection, simulation, rendering) for use with 'go tool pprof'.
 
 `)
 	fs.PrintDefaults()

@@ -347,3 +347,35 @@ func TestHelpExitsZero(t *testing.T) {
 		t.Errorf("-help stderr %q lacks usage", errOut)
 	}
 }
+
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	code, out, errOut := runCLI(t, "-cpuprofile", cpu, "-memprofile", mem, "-quick", "fig6")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "Figure 6") {
+		t.Errorf("experiment output missing: %q", out)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestProfileFlagBadPathExitCode(t *testing.T) {
+	code, _, errOut := runCLI(t, "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x"), "-quick", "fig6")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "montblanc:") {
+		t.Errorf("stderr %q lacks error", errOut)
+	}
+}

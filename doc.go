@@ -46,6 +46,19 @@
 // golden files under internal/experiments/testdata pin the quick-suite
 // bytes to the seed scheduler's output.
 //
+// The memory side (internal/cache behind internal/mem) mirrors that
+// design: strided sweeps run on a batched engine (Hierarchy.AccessRun —
+// translation once per page, set machinery once per line, steady
+// passes memoized once the replacement state provably reaches a fixed
+// point) with the element-at-a-time path retained as the bit-exact
+// reference, pinned by equivalence property suites and AllocsPerRun
+// guards. The scale-membench experiment and the BenchmarkMembench*
+// family cover the related-work working sets (hundreds of MB) the
+// scalar simulator could not afford; `montblanc -cpuprofile` /
+// `-memprofile` wrap any run in runtime/pprof collectors.
+// internal/cache/CACHE.md documents the engine and when memoization is
+// legal.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

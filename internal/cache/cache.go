@@ -131,6 +131,14 @@ func (c *Cache) Stats() Stats { return c.stats }
 // access looks up the line containing pa, filling from below on a miss.
 // It returns the total latency in cycles including lower levels.
 func (c *Cache) access(pa uint64, write bool) int {
+	lat, _ := c.accessIdx(pa, write)
+	return lat
+}
+
+// accessIdx is access returning also the line-array index now holding
+// the touched line, so the batched path can bulk-account follow-up hits
+// on the same line without re-scanning the set.
+func (c *Cache) accessIdx(pa uint64, write bool) (latency, line int) {
 	c.stats.Accesses++
 	c.clock++
 	set := (pa >> c.lineShift) & c.setMask
@@ -145,7 +153,7 @@ func (c *Cache) access(pa uint64, write bool) int {
 			if write {
 				c.dirty[i] = true
 			}
-			return c.cfg.HitLatency
+			return c.cfg.HitLatency, i
 		}
 		if !c.valid[i] {
 			victim, victimUsed = i, 0
@@ -164,7 +172,22 @@ func (c *Cache) access(pa uint64, write bool) int {
 	c.valid[victim] = true
 	c.dirty[victim] = write
 	c.used[victim] = c.clock
-	return cost
+	return cost, victim
+}
+
+// hitRun bulk-accounts n guaranteed hits on the resident line at index
+// idx. It is exactly equivalent to n consecutive access calls on
+// addresses within that line immediately after the call that touched
+// it: each would hit (the line is most recently used and nothing
+// intervenes), bump the clock, and refresh the LRU stamp.
+func (c *Cache) hitRun(idx, n int, write bool) {
+	c.stats.Accesses += uint64(n)
+	c.stats.Hits += uint64(n)
+	c.clock += uint64(n)
+	c.used[idx] = c.clock
+	if write {
+		c.dirty[idx] = true
+	}
 }
 
 // Flush invalidates all lines, counting dirty evictions as writebacks.
@@ -232,6 +255,122 @@ func (h *Hierarchy) Access(va uint64, write bool) int {
 	return cost + h.levels[0].access(pa, write)
 }
 
+// RunResult aggregates the outcome of a batched access run.
+type RunResult struct {
+	Accesses uint64 // accesses performed (== the requested count)
+	Latency  uint64 // sum of per-access latencies in cycles
+	Extra    uint64 // sum of per-access latency beyond the L1 hit cost
+}
+
+// Add accumulates other into r.
+func (r *RunResult) Add(other RunResult) {
+	r.Accesses += other.Accesses
+	r.Latency += other.Latency
+	r.Extra += other.Extra
+}
+
+// accessInto performs one scalar Access and folds it into rr.
+func (h *Hierarchy) accessInto(rr *RunResult, va uint64, write bool) {
+	lat := h.Access(va, write)
+	rr.Accesses++
+	rr.Latency += uint64(lat)
+	if extra := lat - h.levels[0].cfg.HitLatency; extra > 0 {
+		rr.Extra += uint64(extra)
+	}
+}
+
+// AccessRun performs count accesses at va, va+strideBytes,
+// va+2*strideBytes, ... and returns the aggregate latency. It is
+// exactly equivalent — same per-level Stats, same TLB counters, same
+// replacement state, same total latency — to the scalar loop
+//
+//	for i := 0; i < count; i++ {
+//		h.Access(va+uint64(i*strideBytes), write)
+//	}
+//
+// but exploits the structure of ascending strided runs at two levels:
+// the VA→PA translation (and TLB lookup) runs once per page with the
+// page's remaining accesses bulk-accounted as guaranteed TLB hits, and
+// when the stride is smaller than the L1 line size the set machinery
+// runs once per line with the remaining same-line accesses
+// bulk-accounted as guaranteed L1 hits. Zero and negative strides are
+// supported (a zero stride is count touches of one address; negative
+// strides fall back to the scalar loop).
+func (h *Hierarchy) AccessRun(va uint64, strideBytes, count int, write bool) RunResult {
+	var rr RunResult
+	if count <= 0 {
+		return rr
+	}
+	if strideBytes < 0 {
+		// Descending runs are not line/page-segmentable front-to-back;
+		// keep them on the reference path.
+		for i := 0; i < count; i++ {
+			h.accessInto(&rr, va, write)
+			va -= uint64(-strideBytes)
+		}
+		return rr
+	}
+	l1 := h.levels[0]
+	l1Hit := uint64(l1.cfg.HitLatency)
+	lineSize := uint64(l1.cfg.LineSize)
+	stride := uint64(strideBytes)
+	for j := 0; j < count; {
+		vaj := va + uint64(j)*stride
+		// Page segment: the accesses from j onward that share vaj's page.
+		inPage := count - j
+		var (
+			pa   uint64
+			tcyc int
+		)
+		if h.tlb != nil {
+			if stride > 0 {
+				left := mem.PageSize - vaj%mem.PageSize // bytes to page end
+				if n := int((left-1)/stride) + 1; n < inPage {
+					inPage = n
+				}
+			}
+			pa, tcyc = h.tlb.TranslateRun(vaj, inPage)
+		} else {
+			pa = vaj
+		}
+		// Line segments within the page. The first access of each line
+		// pays the full set lookup (and, for the first line, the page's
+		// translation cost); follow-up same-line accesses are guaranteed
+		// L1 hits and are accounted in bulk.
+		for done := 0; done < inPage; {
+			paCur := pa + uint64(done)*stride
+			k := inPage - done
+			if stride == 0 {
+				// All remaining accesses touch this very address.
+			} else if stride < lineSize {
+				left := lineSize - paCur%lineSize // bytes to line end
+				if n := int((left-1)/stride) + 1; n < k {
+					k = n
+				}
+			} else {
+				k = 1
+			}
+			lat, line := l1.accessIdx(paCur, write)
+			if done == 0 {
+				lat += tcyc
+			}
+			rr.Accesses++
+			rr.Latency += uint64(lat)
+			if uint64(lat) > l1Hit {
+				rr.Extra += uint64(lat) - l1Hit
+			}
+			if k > 1 {
+				l1.hitRun(line, k-1, write)
+				rr.Accesses += uint64(k - 1)
+				rr.Latency += uint64(k-1) * l1Hit
+			}
+			done += k
+		}
+		j += inPage
+	}
+	return rr
+}
+
 // Level returns cache level i (0 = L1). It panics on out-of-range i.
 func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
 
@@ -255,11 +394,172 @@ func (h *Hierarchy) Flush() {
 	}
 }
 
-// ResetStats zeroes all counters (cache levels and DRAM) while keeping
-// cache contents warm.
+// ResetStats zeroes all counters — cache levels, DRAM and the TLB —
+// while keeping cache contents and translations warm. Every counter the
+// batched path bulk-updates is covered, so a reset-then-run observes
+// only the run.
 func (h *Hierarchy) ResetStats() {
 	for _, l := range h.levels {
 		l.ResetStats()
 	}
 	h.mem.stats = Stats{}
+	if h.tlb != nil {
+		h.tlb.ResetStats()
+	}
+}
+
+// TLBStats returns the TLB hit/miss counters, with present=false when
+// the hierarchy translates identically (no TLB attached).
+func (h *Hierarchy) TLBStats() (hits, misses uint64, present bool) {
+	if h.tlb == nil {
+		return 0, 0, false
+	}
+	hits, misses = h.tlb.Stats()
+	return hits, misses, true
+}
+
+// HierarchyStats is a combined snapshot of every counter in a
+// hierarchy: per-level cache Stats (L1 first), the DRAM backstop, and
+// the TLB. It is the unit of periodic-pass memoization: the counter
+// movement of one verified-steady pass, replayed multiplicatively.
+type HierarchyStats struct {
+	Levels    []Stats
+	Memory    Stats
+	TLBHits   uint64
+	TLBMisses uint64
+}
+
+// ReadStats fills s with the hierarchy's current counters, reusing
+// s.Levels when already sized.
+func (h *Hierarchy) ReadStats(s *HierarchyStats) {
+	if cap(s.Levels) < len(h.levels) {
+		s.Levels = make([]Stats, len(h.levels))
+	}
+	s.Levels = s.Levels[:len(h.levels)]
+	for i, l := range h.levels {
+		s.Levels[i] = l.stats
+	}
+	s.Memory = h.mem.stats
+	s.TLBHits, s.TLBMisses = 0, 0
+	if h.tlb != nil {
+		s.TLBHits, s.TLBMisses = h.tlb.Stats()
+	}
+}
+
+// sub sets s = a - b per counter (a must be a later snapshot of the
+// same hierarchy than b).
+func (s *HierarchyStats) sub(a, b *HierarchyStats) {
+	if cap(s.Levels) < len(a.Levels) {
+		s.Levels = make([]Stats, len(a.Levels))
+	}
+	s.Levels = s.Levels[:len(a.Levels)]
+	for i := range a.Levels {
+		s.Levels[i] = subStats(a.Levels[i], b.Levels[i])
+	}
+	s.Memory = subStats(a.Memory, b.Memory)
+	s.TLBHits = a.TLBHits - b.TLBHits
+	s.TLBMisses = a.TLBMisses - b.TLBMisses
+}
+
+// Delta sets s to the counter movement between snapshots before and
+// after a region: s = after - before.
+func (s *HierarchyStats) Delta(after, before *HierarchyStats) { s.sub(after, before) }
+
+func subStats(a, b Stats) Stats {
+	return Stats{
+		Accesses:   a.Accesses - b.Accesses,
+		Hits:       a.Hits - b.Hits,
+		Misses:     a.Misses - b.Misses,
+		Writebacks: a.Writebacks - b.Writebacks,
+	}
+}
+
+// AddStats bulk-advances every counter by d, times-fold. It exists for
+// verified periodic-pass replay (see CACHE.md): once a pass is proven
+// to leave the hierarchy's canonical state (AppendState) at a fixed
+// point, further identical passes move only the counters, by exactly d
+// each — replaying them is legal and exact. Replacement clocks are not
+// advanced: they are strictly increasing and only their relative order
+// is observable, so subsequent accesses behave identically either way.
+func (h *Hierarchy) AddStats(d *HierarchyStats, times uint64) {
+	for i, l := range h.levels {
+		if i >= len(d.Levels) {
+			break
+		}
+		dl := d.Levels[i]
+		l.stats.Accesses += dl.Accesses * times
+		l.stats.Hits += dl.Hits * times
+		l.stats.Misses += dl.Misses * times
+		l.stats.Writebacks += dl.Writebacks * times
+	}
+	h.mem.stats.Accesses += d.Memory.Accesses * times
+	h.mem.stats.Hits += d.Memory.Hits * times
+	h.mem.stats.Misses += d.Memory.Misses * times
+	h.mem.stats.Writebacks += d.Memory.Writebacks * times
+	if h.tlb != nil {
+		h.tlb.AddStats(d.TLBHits*times, d.TLBMisses*times)
+	}
+}
+
+// AppendState appends a canonical encoding of the hierarchy's
+// replacement state (every cache level, then the TLB) to dst and
+// returns the extended slice. Two hierarchies with equal encodings —
+// and equal configuration and backing mapper state — behave
+// identically for any subsequent access sequence: the encoding captures
+// line contents, validity, dirtiness and relative LRU ranks, which is
+// all the replacement machinery's decisions depend on. Absolute clock
+// values are excluded, so a periodic pass over a fixed working set
+// reaches a detectable fixed point. Counters are excluded too: state
+// equality is about future behaviour, not history.
+func (h *Hierarchy) AppendState(dst []uint64) []uint64 {
+	for _, l := range h.levels {
+		dst = l.appendState(dst)
+	}
+	if h.tlb != nil {
+		dst = h.tlb.AppendState(dst)
+	}
+	return dst
+}
+
+// StateWords returns the length of the AppendState encoding, the unit
+// callers weigh a pass against when deciding whether fixed-point
+// detection is worth its snapshot cost.
+func (h *Hierarchy) StateWords() int {
+	n := 0
+	for _, l := range h.levels {
+		n += 2 * len(l.tags)
+	}
+	if h.tlb != nil {
+		n += h.tlb.StateWords()
+	}
+	return n
+}
+
+// appendState encodes one level: per line (in way order) the tag and a
+// packed word of the line's LRU rank within its set, validity and
+// dirtiness. Way order is part of the encoding — conservative, since
+// victim selection scans ways in order — so equal encodings guarantee
+// identical future behaviour.
+func (c *Cache) appendState(dst []uint64) []uint64 {
+	assoc := c.cfg.Associativity
+	for base := 0; base < len(c.tags); base += assoc {
+		for w := 0; w < assoc; w++ {
+			i := base + w
+			rank := uint64(0)
+			for v := 0; v < assoc; v++ {
+				if c.used[base+v] < c.used[i] {
+					rank++
+				}
+			}
+			flags := rank << 2
+			if c.valid[i] {
+				flags |= 2
+			}
+			if c.dirty[i] {
+				flags |= 1
+			}
+			dst = append(dst, c.tags[i], flags)
+		}
+	}
+	return dst
 }

@@ -188,6 +188,14 @@ func (m *Model) StallCycles(accessLatency, l1Hit int) float64 {
 	return extra * (1 - m.MissOverlap)
 }
 
+// StallCyclesTotal is the aggregate counterpart of StallCycles for the
+// batched cache path: extraCycles is a pre-clamped sum of per-access
+// latency beyond the L1 hit cost (cache.RunResult.Extra), converted to
+// stall cycles in one step.
+func (m *Model) StallCyclesTotal(extraCycles uint64) float64 {
+	return float64(extraCycles) * (1 - m.MissOverlap)
+}
+
 // SecondsPerCycle returns the wall-clock duration of one cycle.
 func (m *Model) SecondsPerCycle() float64 { return 1 / m.ClockHz }
 

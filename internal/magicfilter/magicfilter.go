@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"montblanc/internal/cache"
 	"montblanc/internal/papi"
 	"montblanc/internal/platform"
 )
@@ -254,44 +255,50 @@ func MeasureVariant(p *platform.Platform, n, unroll int) (VariantResult, error) 
 		core.LoopOverhead +
 		float64(spillTouches)*core.SpillCost*core.SpillPipelineFactor
 
-	// --- simulated memory traffic (stalls + counters)
+	// --- simulated memory traffic (stalls + counters). The sliding
+	// input window and the output stores are ascending strided runs, so
+	// they drive the batched engine (cache.Hierarchy.AccessRun); the
+	// window's periodic wrap at the array edges splits a run into at
+	// most three contiguous segments, accessed in the same order the
+	// scalar loop would. Spill traffic alternates store/reload on a hot
+	// stack frame and stays on the scalar path.
 	const elem = 8 // float64
 	srcBase := uint64(0)
 	dstBase := uint64(n*elem + 4096) // separate pages
 	stackBase := uint64(2*n*elem + 1<<20)
 
-	l1Hit := h.L1HitLatency()
-	var stallCycles float64
+	var traffic cache.RunResult
 	iters := n / unroll
 	for it := 0; it < iters; it++ {
 		i := it * unroll
-		for j := 0; j < loadsPerIter; j++ {
-			idx := i + j + lowOff
-			if idx < 0 {
-				idx += n
-			}
-			if idx >= n {
-				idx -= n
-			}
-			lat := h.Access(srcBase+uint64(idx*elem), false)
-			stallCycles += core.StallCycles(lat, l1Hit)
+		// Loads: window indices i+lowOff .. i+lowOff+loadsPerIter-1,
+		// wrapped into [0, n). Emit the wrapped-low, interior and
+		// wrapped-high segments in index order (== scalar access order).
+		lo := i + lowOff
+		if lo < 0 {
+			traffic.Add(h.AccessRun(srcBase+uint64((lo+n)*elem), elem, -lo, false))
+			lo = 0
 		}
-		for u := 0; u < unroll; u++ {
-			lat := h.Access(dstBase+uint64((i+u)*elem), true)
-			stallCycles += core.StallCycles(lat, l1Hit)
+		hi := i + lowOff + loadsPerIter // one past the last window index
+		if over := hi - n; over > 0 {
+			traffic.Add(h.AccessRun(srcBase+uint64(lo*elem), elem, n-lo, false))
+			traffic.Add(h.AccessRun(srcBase, elem, over, false))
+		} else {
+			traffic.Add(h.AccessRun(srcBase+uint64(lo*elem), elem, hi-lo, false))
 		}
+		traffic.Add(h.AccessRun(dstBase+uint64(i*elem), elem, unroll, true))
 		for s := 0; s < spillTouches; s++ {
-			// Store + reload on a small hot stack frame.
+			// Store + reload on a small hot stack frame: alternating
+			// write/read, so each touch is its own single-access run.
 			addr := stackBase + uint64((s%16)*elem)
-			lat := h.Access(addr, s%2 == 0)
-			stallCycles += core.StallCycles(lat, l1Hit)
+			traffic.Add(h.AccessRun(addr, 0, 1, s%2 == 0))
 		}
 	}
 	points := iters * unroll
 
 	totalCycles := float64(points)*fpPerPoint +
 		float64(iters)*issuePerIter +
-		stallCycles
+		core.StallCyclesTotal(traffic.Extra)
 
 	counters := papi.FromHierarchy(h).
 		Add(papi.TOT_CYC, uint64(math.Round(totalCycles))).

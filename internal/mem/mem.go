@@ -18,6 +18,13 @@ import (
 const PageSize = 4096
 
 // Mapper translates virtual addresses to physical addresses.
+//
+// Implementations must be page-granular (all addresses within one
+// virtual page map into one physical page, offset-preserving) and
+// idempotent (translating the same address twice yields the same
+// physical address and the same mapper state). The batched access path
+// (cache.Hierarchy.AccessRun) relies on both properties to translate
+// once per page instead of once per access.
 type Mapper interface {
 	// Translate returns the physical address backing va, establishing a
 	// mapping on first touch.
@@ -182,11 +189,18 @@ func NewTLB(entries, missPenalty int, mapper Mapper) *TLB {
 // Translate returns the physical address for va and the cycle cost of
 // the translation (0 on hit, MissPenalty on miss).
 func (t *TLB) Translate(va uint64) (pa uint64, cycles int) {
+	pa, cycles, _ = t.translate(va)
+	return pa, cycles
+}
+
+// translate is Translate returning also the slot index holding the
+// mapping afterwards (-1 when the TLB is pass-through).
+func (t *TLB) translate(va uint64) (pa uint64, cycles, slot int) {
 	if !t.enabled {
 		if t.mapper != nil {
-			return t.mapper.Translate(va), 0
+			return t.mapper.Translate(va), 0, -1
 		}
-		return va, 0
+		return va, 0, -1
 	}
 	t.clock++
 	vpn := va / PageSize
@@ -196,7 +210,7 @@ func (t *TLB) Translate(va uint64) (pa uint64, cycles int) {
 		if s.valid && s.vpn == vpn {
 			s.used = t.clock
 			t.hits++
-			return s.ppn*PageSize + va%PageSize, 0
+			return s.ppn*PageSize + va%PageSize, 0, i
 		}
 		if !s.valid {
 			lruIdx, lruUsed = i, 0
@@ -207,11 +221,42 @@ func (t *TLB) Translate(va uint64) (pa uint64, cycles int) {
 	t.misses++
 	pa = t.mapper.Translate(va)
 	t.slots[lruIdx] = tlbSlot{vpn: vpn, ppn: pa / PageSize, valid: true, used: t.clock}
-	return pa, t.MissPenalty
+	return pa, t.MissPenalty, lruIdx
+}
+
+// TranslateRun translates the first of n accesses that all fall on the
+// page containing va and bulk-accounts the n-1 that follow. It is
+// exactly equivalent to n consecutive Translate calls on addresses of
+// that page: after the first lookup the page is the most recently used
+// entry, so the remaining n-1 lookups are guaranteed hits — they are
+// charged as hits, advance the LRU clock, and refresh the slot without
+// the per-access scan. It returns the physical address of va and the
+// cycle cost of the first translation (the guaranteed hits cost 0).
+func (t *TLB) TranslateRun(va uint64, n int) (pa uint64, cycles int) {
+	pa, cycles, slot := t.translate(va)
+	if slot >= 0 && n > 1 {
+		t.clock += uint64(n - 1)
+		t.hits += uint64(n - 1)
+		t.slots[slot].used = t.clock
+	}
+	return pa, cycles
 }
 
 // Stats returns hit and miss counts since creation or the last Flush.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// ResetStats zeroes the hit/miss counters without touching the cached
+// translations (the counter counterpart of a warm cache).
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+
+// AddStats bulk-advances the hit/miss counters. It exists for verified
+// periodic-pass replay (see internal/cache/CACHE.md): after a pass is
+// proven to leave the TLB state at a fixed point, the counter movement
+// of further identical passes may be added without re-simulating them.
+func (t *TLB) AddStats(hits, misses uint64) {
+	t.hits += hits
+	t.misses += misses
+}
 
 // Flush invalidates all entries and zeroes the counters (context switch).
 func (t *TLB) Flush() {
@@ -220,6 +265,35 @@ func (t *TLB) Flush() {
 	}
 	t.hits, t.misses = 0, 0
 }
+
+// AppendState appends a canonical encoding of the TLB's replacement
+// state to dst and returns the extended slice. Two TLBs with equal
+// encodings (and equal configuration and backing mapper state) behave
+// identically for any subsequent access sequence: the encoding captures
+// each slot's mapping, validity and relative LRU rank, which — together
+// with the strictly increasing clock — is all replacement decisions
+// depend on. Absolute clock/used values are deliberately excluded so a
+// periodic pass reaches a detectable fixed point.
+func (t *TLB) AppendState(dst []uint64) []uint64 {
+	for i := range t.slots {
+		s := &t.slots[i]
+		rank := uint64(0)
+		for j := range t.slots {
+			if t.slots[j].used < s.used {
+				rank++
+			}
+		}
+		flags := rank << 1
+		if s.valid {
+			flags |= 1
+		}
+		dst = append(dst, s.vpn, s.ppn, flags)
+	}
+	return dst
+}
+
+// StateWords returns the length of the AppendState encoding.
+func (t *TLB) StateWords() int { return 3 * len(t.slots) }
 
 // String describes the TLB configuration.
 func (t *TLB) String() string {

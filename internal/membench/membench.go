@@ -9,6 +9,7 @@ package membench
 
 import (
 	"fmt"
+	"slices"
 
 	"montblanc/internal/cache"
 	"montblanc/internal/cpu"
@@ -69,10 +70,21 @@ type Result struct {
 
 // Runner performs measurements against one platform with one page
 // mapping, modelling a single process whose malloc/free keeps returning
-// the same physical pages (§V.A.1).
+// the same physical pages (§V.A.1). Measurements run on the batched
+// cache engine (cache.Hierarchy.AccessRun) with periodic-pass
+// memoization; RunScalar retains the element-at-a-time reference path,
+// and the two are pinned exactly equivalent by the property suite in
+// equivalence_test.go. See internal/cache/CACHE.md.
 type Runner struct {
 	plat *platform.Platform
 	hier *cache.Hierarchy
+
+	// Memoization scratch, reused across passes and Runs so the steady
+	// state allocates nothing: two canonical-state snapshots for
+	// fixed-point detection and three counter snapshots for delta
+	// capture and replay.
+	statePrev, stateCur             []uint64
+	statsPre, statsPost, statsDelta cache.HierarchyStats
 }
 
 // NewRunner creates a Runner for platform p with page mapper m (nil for
@@ -85,8 +97,29 @@ func NewRunner(p *platform.Platform, m mem.Mapper) (*Runner, error) {
 	return &Runner{plat: p, hier: h}, nil
 }
 
-// Run measures one configuration and returns the result.
-func (r *Runner) Run(cfg Config) (Result, error) {
+// Hierarchy exposes the Runner's cache hierarchy for tests and
+// diagnostics.
+func (r *Runner) Hierarchy() *cache.Hierarchy { return r.hier }
+
+// Run measures one configuration and returns the result. It drives the
+// batched engine: translation once per page, set machinery once per
+// line, and — once a measured pass is detected to leave the hierarchy's
+// canonical state at a fixed point — the remaining passes replayed as
+// counter deltas instead of being re-simulated. Results are exactly
+// those of RunScalar.
+func (r *Runner) Run(cfg Config) (Result, error) { return r.run(cfg, false) }
+
+// RunScalar is the reference implementation: one Hierarchy.Access per
+// element, no batching, no memoization. It exists to pin the batched
+// engine — the equivalence suite asserts identical cycles, per-level
+// Stats and papi counters against it — and as the baseline the
+// BenchmarkMembench* family measures speedups over.
+func (r *Runner) RunScalar(cfg Config) (Result, error) { return r.run(cfg, true) }
+
+// statesEqual compares two canonical-state encodings.
+func statesEqual(a, b []uint64) bool { return slices.Equal(a, b) }
+
+func (r *Runner) run(cfg Config, scalar bool) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -94,34 +127,98 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 	elemBytes := cfg.Width.Bytes()
 	n := cfg.ArrayBytes / elemBytes
 	stride := cfg.StrideElems
+	strideBytes := stride * elemBytes
+	count := (n + stride - 1) / stride // accesses per pass
 
 	// Issue cost per access from the core model: the unrolled loop body
 	// amortizes loop overhead but may spill registers.
 	issuePerAccess := r.plat.CPU.IterationCost(cfg.Width, cfg.Unroll) / float64(cfg.Unroll)
 	l1Hit := r.hier.L1HitLatency()
 
-	pass := func(measured bool) (cycles float64, accesses uint64) {
-		for i := 0; i < n; i += stride {
-			va := uint64(i * elemBytes)
-			lat := r.hier.Access(va, false)
-			if measured {
-				cycles += issuePerAccess + r.plat.CPU.StallCycles(lat, l1Hit)
-				accesses++
+	pass := func() cache.RunResult {
+		if scalar {
+			var rr cache.RunResult
+			for i := 0; i < n; i += stride {
+				va := uint64(i * elemBytes)
+				lat := r.hier.Access(va, false)
+				rr.Accesses++
+				rr.Latency += uint64(lat)
+				if lat > l1Hit {
+					rr.Extra += uint64(lat - l1Hit)
+				}
 			}
+			return rr
 		}
-		return cycles, accesses
+		return r.hier.AccessRun(0, strideBytes, count, false)
+	}
+	passCycles := func(rr cache.RunResult) float64 {
+		return float64(rr.Accesses)*issuePerAccess + r.plat.CPU.StallCyclesTotal(rr.Extra)
 	}
 
-	for w := 0; w < cfg.WarmPasses; w++ {
-		pass(false)
+	// Fixed-point detection costs two canonical snapshots per pass;
+	// only pay it when a pass dwarfs the snapshot.
+	memo := !scalar && count >= r.hier.StateWords()
+
+	// Warm passes evolve state only (counters are reset below), so once
+	// a warm pass maps the canonical state onto itself the remaining
+	// warm passes are no-ops and may be skipped.
+	if memo && cfg.WarmPasses > 1 {
+		r.stateCur = r.hier.AppendState(r.stateCur[:0])
+		for w := 0; w < cfg.WarmPasses; w++ {
+			pass()
+			r.statePrev, r.stateCur = r.stateCur, r.statePrev
+			r.stateCur = r.hier.AppendState(r.stateCur[:0])
+			if statesEqual(r.statePrev, r.stateCur) {
+				break
+			}
+		}
+	} else {
+		for w := 0; w < cfg.WarmPasses; w++ {
+			pass()
+		}
+		if memo {
+			r.stateCur = r.hier.AppendState(r.stateCur[:0])
+		}
 	}
 	r.hier.ResetStats()
+
 	var totalCycles float64
 	var totalAccesses uint64
+	var memoAgg cache.RunResult
+	var memoCycles float64
+	haveMemo := false
 	for p := 0; p < cfg.MeasurePasses; p++ {
-		c, a := pass(true)
-		totalCycles += c
-		totalAccesses += a
+		if haveMemo {
+			// Every remaining pass starts from the verified fixed point
+			// and is therefore identical: advance the counters by the
+			// captured delta and replay the identical cycle/access
+			// contributions in pass order.
+			remaining := cfg.MeasurePasses - p
+			r.hier.AddStats(&r.statsDelta, uint64(remaining))
+			for i := 0; i < remaining; i++ {
+				totalCycles += memoCycles
+				totalAccesses += memoAgg.Accesses
+			}
+			break
+		}
+		if memo && p < cfg.MeasurePasses-1 {
+			r.hier.ReadStats(&r.statsPre)
+			rr := pass()
+			cyc := passCycles(rr)
+			totalCycles += cyc
+			totalAccesses += rr.Accesses
+			r.hier.ReadStats(&r.statsPost)
+			r.statePrev, r.stateCur = r.stateCur, r.statePrev
+			r.stateCur = r.hier.AppendState(r.stateCur[:0])
+			if statesEqual(r.statePrev, r.stateCur) {
+				r.statsDelta.Delta(&r.statsPost, &r.statsPre)
+				memoAgg, memoCycles, haveMemo = rr, cyc, true
+			}
+			continue
+		}
+		rr := pass()
+		totalCycles += passCycles(rr)
+		totalAccesses += rr.Accesses
 	}
 
 	res := Result{

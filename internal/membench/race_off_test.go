@@ -1,0 +1,8 @@
+//go:build !race
+
+package membench
+
+// raceEnabled reports whether the race detector is active; the
+// AllocsPerRun guards skip under -race (instrumentation skews
+// allocation counts).
+const raceEnabled = false

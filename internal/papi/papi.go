@@ -116,6 +116,9 @@ func FromHierarchy(h *cache.Hierarchy) Counters {
 		c[levelEvents[i][0]] = st.Accesses
 		c[levelEvents[i][1]] = st.Misses
 	}
+	if _, misses, ok := h.TLBStats(); ok {
+		c[TLB_DM] = misses
+	}
 	return c
 }
 
