@@ -25,6 +25,17 @@
 //	montblanc -cpuprofile cpu.pb.gz locality          # pprof CPU profile of any experiment
 //	montblanc -memprofile mem.pb.gz -quick all        # pprof allocation profile
 //
+//	montblanc serve -addr :8080                       # simulation-as-a-service (see SERVICE.md)
+//	montblanc -platform-file m.json serve             # serve extra machines too
+//
+// The serve mode exposes the experiments over HTTP/JSON (POST /v1/run,
+// GET /v1/experiments, /v1/platforms, /metrics, /healthz) with a
+// content-addressed result cache in front of the runner pool: repeated
+// requests for the same (experiment, options, platform specs) hash are
+// O(1) cache hits, byte-identical to the cold run, and concurrent
+// identical requests cost one simulation. SIGINT/SIGTERM drain
+// in-flight work before exit.
+//
 // The -cpuprofile and -memprofile flags wrap the whole run in the
 // standard runtime/pprof collectors, so perf work on any experiment
 // needs no ad-hoc harness: run the experiment under a profile flag and
@@ -43,21 +54,26 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"montblanc/internal/experiments"
 	"montblanc/internal/platform"
 	"montblanc/internal/report"
 	"montblanc/internal/runner"
+	"montblanc/internal/service"
 )
 
 func main() {
@@ -152,6 +168,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			strings.Join(names, ", "), *platFile)
 	}
 
+	// The serve mode owns everything after the verb ("montblanc serve
+	// -addr :8080"); the top-level flag parse stopped at the first
+	// non-flag argument, so serve's flags arrive here unparsed.
+	// -platform-file has already run: machines registered from files
+	// are served like builtins.
+	if fs.Arg(0) == "serve" {
+		return runServe(fs.Args()[1:], stderr)
+	}
+
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	if *platNames != "" {
 		for _, name := range strings.Split(*platNames, ",") {
@@ -215,7 +240,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	var results []runner.Result
 	if *timing {
-		defer func() { writeTimings(stderr, results) }()
+		defer func() {
+			if err := writeTimings(stderr, results); err != nil {
+				fmt.Fprintln(stderr, "montblanc:", err)
+				if code == 0 {
+					code = 1 // a lost -time summary must not look like success
+				}
+			}
+		}()
 	}
 
 	if *jsonOut {
@@ -258,6 +290,63 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	return 0
 }
 
+// runServe runs the simulation service until SIGINT/SIGTERM, then
+// drains gracefully. It returns the exit code: 0 clean shutdown, 1
+// serve failure, 2 usage.
+func runServe(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("montblanc serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheSize := fs.Int("cache-size", 1024, "maximum cached results (content-addressed LRU)")
+	maxConcurrent := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "maximum simulations executing at once")
+	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request timeout (the simulation continues and lands in the cache)")
+	shutdownGrace := fs.Duration("shutdown-grace", 30*time.Second, "bound on draining in-flight work at shutdown")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, `usage: montblanc serve [flags]
+
+Serves experiments over HTTP/JSON with a content-addressed result
+cache (see SERVICE.md): POST /v1/run, GET /v1/experiments,
+/v1/platforms, /metrics, /healthz. Repeated requests for the same
+(experiment, options, platform specs) content hash are answered from
+the cache; concurrent identical requests cost one simulation.
+
+Flags:`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "montblanc serve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	srv := service.New(service.Config{
+		MaxConcurrent:  *maxConcurrent,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *requestTimeout,
+		ShutdownGrace:  *shutdownGrace,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "montblanc serve:", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(stderr, "montblanc serve:", err)
+		return 1
+	}
+	return 0
+}
+
 // listPlatforms renders the `platforms` mode: the registered machine
 // models (optionally restricted by -platform), one per line as text, or
 // the full serializable specs under -json.
@@ -294,8 +383,9 @@ func listPlatforms(stdout, stderr io.Writer, selected []string, jsonOut bool) in
 }
 
 // writeTimings renders a per-experiment wall-clock summary, slowest
-// first, to w.
-func writeTimings(w io.Writer, results []runner.Result) {
+// first, to w. The write error is returned — a -time summary lost to
+// a closed stderr must surface like every other failed write path.
+func writeTimings(w io.Writer, results []runner.Result) error {
 	sorted := append([]runner.Result(nil), results...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return sorted[i].Duration > sorted[j].Duration
@@ -314,11 +404,15 @@ func writeTimings(w io.Writer, results []runner.Result) {
 		total += r.Duration.Seconds()
 	}
 	tab.AddRow("total (cpu)", total, "")
-	io.WriteString(w, tab.String())
+	if _, err := io.WriteString(w, tab.String()); err != nil {
+		return fmt.Errorf("writing timing summary: %w", err)
+	}
+	return nil
 }
 
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintf(w, `usage: montblanc [flags] <experiment|pattern>... | list | platforms | all
+       montblanc serve [serve flags]   (run 'montblanc serve -h')
 
 Reproduces the tables and figures of Stanisic et al., "Performance
 Analysis of HPC Applications on Low-Power Embedded Platforms" (DATE'13).
@@ -337,6 +431,10 @@ machine is charged its constant envelope, the paper's §III.C model.
 
 -cpuprofile and -memprofile write runtime/pprof profiles of the whole
 run (selection, simulation, rendering) for use with 'go tool pprof'.
+
+'montblanc serve' runs the experiments as a long-lived HTTP/JSON
+service with a content-addressed result cache (SERVICE.md documents
+the API); machines registered via -platform-file are served too.
 
 `)
 	fs.PrintDefaults()

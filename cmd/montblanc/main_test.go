@@ -379,3 +379,52 @@ func TestProfileFlagBadPathExitCode(t *testing.T) {
 		t.Errorf("stderr %q lacks error", errOut)
 	}
 }
+
+// --- serve verb ----------------------------------------------------
+
+func TestServeUsageErrors(t *testing.T) {
+	// Unknown serve flag.
+	if code, _, errOut := runCLI(t, "serve", "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("bad serve flag: exit %d (stderr %q), want 2", code, errOut)
+	}
+	// Stray positional argument after the verb's flags.
+	if code, _, errOut := runCLI(t, "serve", "fig1"); code != 2 || !strings.Contains(errOut, "unexpected argument") {
+		t.Errorf("stray serve arg: exit %d stderr %q, want 2 + message", code, errOut)
+	}
+	// -h prints the serve usage and exits 0.
+	code, _, errOut := runCLI(t, "serve", "-h")
+	if code != 0 || !strings.Contains(errOut, "usage: montblanc serve") {
+		t.Errorf("serve -h: exit %d stderr %q", code, errOut)
+	}
+	// An unusable listen address is a serve failure, not a usage error.
+	if code, _, errOut := runCLI(t, "serve", "-addr", "256.256.256.256:99999"); code != 1 || !strings.Contains(errOut, "montblanc serve:") {
+		t.Errorf("bad addr: exit %d stderr %q, want 1 + message", code, errOut)
+	}
+}
+
+func TestTopLevelUsageMentionsServe(t *testing.T) {
+	_, _, errOut := runCLI(t, "-help")
+	if !strings.Contains(errOut, "montblanc serve") {
+		t.Errorf("usage text does not mention the serve mode: %q", errOut)
+	}
+}
+
+// --- writeTimings error propagation --------------------------------
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("stream closed") }
+
+func TestWriteTimingsReportsWriteError(t *testing.T) {
+	results := []runner.Result{{ID: "x", Title: "t"}}
+	if err := writeTimings(failingWriter{}, results); err == nil {
+		t.Fatal("writeTimings swallowed the write error")
+	}
+	var buf bytes.Buffer
+	if err := writeTimings(&buf, results); err != nil {
+		t.Fatalf("healthy writer: %v", err)
+	}
+	if !strings.Contains(buf.String(), "timing summary") {
+		t.Errorf("summary missing: %q", buf.String())
+	}
+}

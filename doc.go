@@ -59,6 +59,19 @@
 // internal/cache/CACHE.md documents the engine and when memoization is
 // legal.
 //
+// Experiments are also served: `montblanc serve` (internal/service)
+// exposes the whole registry over HTTP/JSON with a content-addressed
+// result cache in front of the runner pool. The determinism suite
+// proves every experiment is a pure function of its Options plus the
+// resolved platform specs, so a Result is stored under the SHA-256 of
+// that canonical request (experiments.CacheKey) and replayed verbatim
+// — byte-identical — for every later identical request; singleflight
+// deduplication makes N concurrent identical requests cost one
+// simulation. Requests may carry inline machine specs, resolved
+// request-scoped against the registry (platform.Resolver) without
+// registering anything. SERVICE.md documents the endpoints, schemas,
+// cache-key recipe and /metrics fields.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"montblanc/internal/platform"
 	"montblanc/internal/runner"
 )
 
@@ -24,11 +25,24 @@ type Options struct {
 	// Seed overrides the default deterministic seed (0 keeps defaults).
 	Seed uint64
 	// Platforms restricts the cross-platform sweep experiments to the
-	// named registered platforms, in the given order. Empty means every
-	// registered platform. Experiments reproducing a specific paper
-	// artifact ignore it: fig5 is a Snowball study whatever the sweep
-	// set says.
+	// named platforms, in the given order. Empty means every resolvable
+	// platform. Experiments reproducing a specific paper artifact
+	// ignore it: fig5 is a Snowball study whatever the sweep set says.
 	Platforms []string
+	// Specs are request-scoped inline machine specs, resolved alongside
+	// the global registry without registering anything (see
+	// platform.Resolver); an inline spec may shadow a registered name.
+	// The service uses this to honor per-request machines while
+	// concurrent requests never fight over the process-wide registry.
+	Specs []platform.Spec
+}
+
+// Resolver returns the platform resolver for these options: the global
+// registry overlaid with the inline Specs. With no inline specs it is
+// a pure registry view, so option-driven lookups and the historical
+// package-level lookups see identical machines.
+func (o Options) Resolver() (*platform.Resolver, error) {
+	return platform.NewResolver(o.Specs)
 }
 
 // Experiment is a runnable reproduction of one paper artifact.

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"montblanc/internal/platform"
+)
+
+// canonicalRequest is the exact document hashed into a cache key. The
+// field set and order are part of the service's cache contract
+// (SERVICE.md): every knob that can change an experiment's output is
+// present — always, with zero values explicit, so "unset" and
+// "explicitly default" canonicalize identically — and the platform set
+// is resolved down to full Spec JSON, so two requests naming the same
+// platform but meaning different machines (an inline shadow, a
+// different registry) never share a key.
+type canonicalRequest struct {
+	Experiment string          `json:"experiment"`
+	Quick      bool            `json:"quick"`
+	Seed       uint64          `json:"seed"`
+	Platforms  []platform.Spec `json:"platforms"`
+}
+
+// CanonicalJSON renders the request (id, o) in canonical wire form:
+// fixed field order, defaults explicit, and the platform set expanded
+// to resolved specs in request order (an empty Platforms list means
+// every resolvable name, sorted — the same expansion sweepPlatforms
+// applies). The determinism suite guarantees an experiment's output is
+// a pure function of exactly these bytes, which is what makes the
+// service's content-addressed cache sound: equal canonical bytes imply
+// equal output. (The converse need not hold — two different platform
+// sets may render identically for an experiment that ignores them;
+// that costs a duplicate cache entry, never a wrong answer.)
+func CanonicalJSON(id string, o Options) ([]byte, error) {
+	r, err := o.Resolver()
+	if err != nil {
+		return nil, err
+	}
+	names := o.Platforms
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	specs := make([]platform.Spec, 0, len(names))
+	for _, n := range names {
+		s, ok := r.LookupSpec(n)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown platform %q in options", n)
+		}
+		specs = append(specs, s)
+	}
+	return json.Marshal(canonicalRequest{
+		Experiment: id,
+		Quick:      o.Quick,
+		Seed:       o.Seed,
+		Platforms:  specs,
+	})
+}
+
+// CacheKey returns the content address of one experiment execution:
+// the hex SHA-256 of CanonicalJSON(id, o). Results stored under this
+// key may be replayed for any request that canonicalizes to the same
+// bytes.
+func CacheKey(id string, o Options) (string, error) {
+	doc, err := CanonicalJSON(id, o)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}

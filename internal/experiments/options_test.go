@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"montblanc/internal/platform"
+)
+
+// inlineSpec returns a valid request-scoped spec derived from a
+// builtin.
+func inlineSpec(t *testing.T, name string, watts float64) platform.Spec {
+	t.Helper()
+	s, ok := platform.LookupSpec("Snowball")
+	if !ok {
+		t.Fatal("builtin Snowball missing")
+	}
+	s.Name = name
+	s.PowerName = ""
+	s.Power = nil
+	s.Watts = watts
+	return s
+}
+
+func mustKey(t *testing.T, id string, o Options) string {
+	t.Helper()
+	k, err := CacheKey(id, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCanonicalJSONDeterministic(t *testing.T) {
+	o := Options{Quick: true, Seed: 7, Platforms: []string{"Snowball", "XeonX5550"}}
+	a, err := CanonicalJSON("fig1", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalJSON("fig1", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical form not stable:\n%s\n%s", a, b)
+	}
+}
+
+// An empty platform list and the explicit every-name-sorted list are
+// the same request (sweepPlatforms applies exactly this expansion), so
+// they must share a cache key.
+func TestCacheKeyEmptyPlatformsEqualsExplicitAll(t *testing.T) {
+	implicit := mustKey(t, "sweep-matrix", Options{Quick: true})
+	explicit := mustKey(t, "sweep-matrix", Options{Quick: true, Platforms: platform.Names()})
+	if implicit != explicit {
+		t.Error("implicit all-platforms request keyed differently from the explicit one")
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := Options{Quick: true, Platforms: []string{"Snowball", "XeonX5550"}}
+	k := mustKey(t, "sweep-matrix", base)
+
+	if mustKey(t, "sweep-energy", base) == k {
+		t.Error("different experiment, same key")
+	}
+	if mustKey(t, "sweep-matrix", Options{Quick: false, Platforms: base.Platforms}) == k {
+		t.Error("different quick flag, same key")
+	}
+	if mustKey(t, "sweep-matrix", Options{Quick: true, Seed: 9, Platforms: base.Platforms}) == k {
+		t.Error("different seed, same key")
+	}
+	// Platform order changes sweep column order, hence output.
+	reordered := Options{Quick: true, Platforms: []string{"XeonX5550", "Snowball"}}
+	if mustKey(t, "sweep-matrix", reordered) == k {
+		t.Error("different platform order, same key")
+	}
+}
+
+// An inline spec shadowing a registered name is a different machine:
+// the resolved Spec JSON in the canonical form must change the key
+// even though the name list is identical.
+func TestCacheKeyResolvesInlineShadow(t *testing.T) {
+	names := Options{Quick: true, Platforms: []string{"Snowball"}}
+	k := mustKey(t, "sweep-matrix", names)
+
+	shadow := names
+	shadow.Specs = []platform.Spec{inlineSpec(t, "Snowball", 123)}
+	if mustKey(t, "sweep-matrix", shadow) == k {
+		t.Error("shadowed Snowball keyed identically to the builtin")
+	}
+
+	// Two structurally identical inline specs key identically.
+	again := names
+	again.Specs = []platform.Spec{inlineSpec(t, "Snowball", 123)}
+	if mustKey(t, "sweep-matrix", shadow) != mustKey(t, "sweep-matrix", again) {
+		t.Error("identical inline specs keyed differently")
+	}
+}
+
+func TestCacheKeyUnknownPlatform(t *testing.T) {
+	if _, err := CacheKey("fig1", Options{Platforms: []string{"NoSuchMachine"}}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+// Inline specs must be visible to the sweep experiments without
+// touching the global registry.
+func TestSweepUsesInlineSpecs(t *testing.T) {
+	o := Options{
+		Quick:     true,
+		Platforms: []string{"Snowball", "RequestScoped"},
+		Specs:     []platform.Spec{inlineSpec(t, "RequestScoped", 4)},
+	}
+	ps, err := sweepPlatforms(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[1].Name != "RequestScoped" {
+		t.Fatalf("sweep platforms = %v", ps)
+	}
+	if _, ok := platform.LookupSpec("RequestScoped"); ok {
+		t.Error("inline spec leaked into the registry")
+	}
+}

@@ -60,15 +60,21 @@ func sweepRef(w io.Writer, s *core.Sweep) int {
 }
 
 // sweepPlatforms resolves the sweep set from the options: the named
-// platforms in the given order, or every registered platform.
+// platforms in the given order, or every resolvable platform. Lookups
+// go through the options' resolver, so request-scoped inline specs
+// (Options.Specs) join the sweep without touching the global registry.
 func sweepPlatforms(o Options) ([]*platform.Platform, error) {
+	r, err := o.Resolver()
+	if err != nil {
+		return nil, err
+	}
 	names := o.Platforms
 	if len(names) == 0 {
-		names = platform.Names()
+		names = r.Names()
 	}
 	ps := make([]*platform.Platform, 0, len(names))
 	for _, n := range names {
-		p, err := platform.Lookup(n)
+		p, err := r.Lookup(n)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"time"
 )
@@ -38,11 +39,15 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &jr); err != nil {
 		return err
 	}
+	d, err := secondsToDuration(jr.Seconds)
+	if err != nil {
+		return fmt.Errorf("runner: result %q: %w", jr.ID, err)
+	}
 	*r = Result{
 		ID:       jr.ID,
 		Title:    jr.Title,
 		Output:   jr.Output,
-		Duration: secondsToDuration(jr.Seconds),
+		Duration: d,
 	}
 	if jr.Error != "" {
 		r.Err = &recordedError{jr.Error}
@@ -50,11 +55,36 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-func secondsToDuration(s float64) time.Duration {
+// maxDurationSeconds is the largest float64 seconds value that still
+// rounds to a representable time.Duration. math.MaxInt64 is not exactly
+// representable as a float64 (the nearest float is 2^63, one past the
+// max), so the comparison is done in float space against the
+// next-lower representable value.
+var maxDurationSeconds = math.Nextafter(float64(math.MaxInt64), 0) / float64(time.Second)
+
+// secondsToDuration converts wire seconds to a Duration, rejecting
+// values no real task duration can produce. This wire form is the
+// service's public contract, so hostile input (NaN, ±Inf, 1e30) must
+// fail loudly instead of round-tripping into an
+// implementation-dependent garbage Duration: float→int64 conversion of
+// an out-of-range value is unspecified in Go.
+func secondsToDuration(s float64) (time.Duration, error) {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("non-finite seconds %g", s)
+	}
+	// Clamp rather than reject the edges: a negative duration cannot
+	// come from a wall clock (only from a hand-edited file) and an
+	// over-range one would overflow int64 nanoseconds.
+	if s < 0 {
+		return 0, nil
+	}
+	if s > maxDurationSeconds {
+		return math.MaxInt64, nil
+	}
 	// Round, don't truncate: most durations are not exactly
 	// representable as float seconds (0.3s*1e9 = 299999999.999…ns) and
 	// truncation would lose a nanosecond on every round-trip.
-	return time.Duration(math.Round(s * float64(time.Second)))
+	return time.Duration(math.Round(s * float64(time.Second))), nil
 }
 
 type recordedError struct{ msg string }

@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestUnmarshalHostileSeconds drives the wire decoder with the seconds
+// values an untrusted client can send. Non-finite input is rejected;
+// out-of-range finite input clamps to [0, math.MaxInt64] nanoseconds
+// instead of converting to an implementation-dependent Duration.
+func TestUnmarshalHostileSeconds(t *testing.T) {
+	cases := []struct {
+		name    string
+		wire    string
+		want    time.Duration
+		wantErr bool
+	}{
+		{name: "zero", wire: `0`, want: 0},
+		{name: "exact", wire: `1.5`, want: 1500 * time.Millisecond},
+		{name: "negative clamps to zero", wire: `-0.25`, want: 0},
+		{name: "negative huge clamps to zero", wire: `-1e300`, want: 0},
+		{name: "beyond int64 ns clamps to max", wire: `1e30`, want: math.MaxInt64},
+		{name: "just past max clamps to max", wire: `9.3e9`, want: math.MaxInt64},
+		{name: "max float clamps to max", wire: `1.7976931348623157e308`, want: math.MaxInt64},
+		{name: "nan rejected", wire: `"NaN"`, wantErr: true},
+		{name: "plus inf rejected", wire: `1e999`, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Result
+			err := json.Unmarshal([]byte(`{"id":"x","title":"t","seconds":`+tc.wire+`,"output":""}`), &r)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("seconds %s: accepted, Duration=%d; want error", tc.wire, r.Duration)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("seconds %s: %v", tc.wire, err)
+			}
+			if r.Duration != tc.want {
+				t.Errorf("seconds %s → %d, want %d", tc.wire, r.Duration, tc.want)
+			}
+		})
+	}
+}
+
+// JSON has no NaN/Inf literals, so a number token can't be non-finite —
+// but Go clients hand-building maps can't produce one either, and the
+// decoder path must still reject the values if they arrive through a
+// non-JSON route into secondsToDuration.
+func TestSecondsToDurationNonFinite(t *testing.T) {
+	for _, s := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if d, err := secondsToDuration(s); err == nil {
+			t.Errorf("secondsToDuration(%g) = %d, want error", s, d)
+		}
+	}
+}
+
+// TestMarshalStableAtExtremes pins the fixed point of the clamp: a
+// Result already at a boundary Duration survives marshal→unmarshal
+// byte-stably, so stored wire forms never drift on re-serialization.
+func TestMarshalStableAtExtremes(t *testing.T) {
+	for _, d := range []time.Duration{0, 1, time.Second, math.MaxInt64} {
+		in := Result{ID: "x", Title: "t", Duration: d}
+		first, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Result
+		if err := json.Unmarshal(first, &out); err != nil {
+			t.Fatalf("duration %d: %v", d, err)
+		}
+		second, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("duration %d: marshal not stable:\n  first  %s\n  second %s", d, first, second)
+		}
+	}
+}
+
+// FuzzResultJSONRoundTrip checks the two wire-contract properties for
+// arbitrary field content and hostile seconds values: decoding never
+// yields an out-of-range Duration, and whatever decodes re-marshals
+// byte-stably (marshal∘unmarshal is a projection).
+func FuzzResultJSONRoundTrip(f *testing.F) {
+	f.Add("fig1", "a figure", 1.5, "output\n", "")
+	f.Add("fig2", "broken", 0.000001, "partial", "no converge")
+	f.Add("", "", -1e300, "", "")
+	f.Add("x", "t", 1e30, "o", "e")
+	f.Add("y", "u", 9.3e9, "", "")
+	f.Add("z", "v", math.MaxFloat64, "", "")
+	f.Fuzz(func(t *testing.T, id, title string, seconds float64, output, errMsg string) {
+		doc := map[string]interface{}{
+			"id": id, "title": title, "output": output,
+		}
+		if errMsg != "" {
+			doc["error"] = errMsg
+		}
+		// json.Marshal rejects non-finite floats, so splice the seconds
+		// token in as raw text to reach the decoder with any value the
+		// wire can express.
+		base, err := json.Marshal(doc)
+		if err != nil {
+			t.Skip() // unencodable strings
+		}
+		wire := strings.TrimSuffix(string(base), "}") +
+			fmt.Sprintf(`,"seconds":%g}`, seconds)
+		if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+			wire = strings.TrimSuffix(string(base), "}") + `,"seconds":1}`
+		}
+
+		var r Result
+		if err := json.Unmarshal([]byte(wire), &r); err != nil {
+			// Rejection is a valid outcome (e.g. %g rendered a value the
+			// JSON number grammar reads as out of float64 range).
+			return
+		}
+		if r.Duration < 0 {
+			t.Fatalf("decoded negative Duration %d from seconds %g", r.Duration, seconds)
+		}
+
+		first, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var r2 Result
+		if err := json.Unmarshal(first, &r2); err != nil {
+			t.Fatalf("decoding own marshal output: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(r2)
+		if err != nil {
+			t.Fatalf("second marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("marshal not byte-stable:\n  first  %s\n  second %s", first, second)
+		}
+		if r2.Duration != r.Duration {
+			t.Fatalf("Duration drifted on round-trip: %d → %d", r.Duration, r2.Duration)
+		}
+	})
+}

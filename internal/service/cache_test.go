@@ -1,0 +1,61 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"montblanc/internal/runner"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", runner.Result{ID: "a"})
+	c.add("b", runner.Result{ID: "b"})
+	// Touch "a" so "b" is the eviction candidate.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.add("c", runner.Result{ID: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing right after add")
+	}
+	entries, evictions := c.stats()
+	if entries != 2 || evictions != 1 {
+		t.Errorf("stats = (%d entries, %d evictions), want (2, 1)", entries, evictions)
+	}
+}
+
+// A content address has one value: re-adding a key must keep the first
+// stored result, not overwrite it.
+func TestResultCacheFirstValueWins(t *testing.T) {
+	c := newResultCache(4)
+	c.add("k", runner.Result{ID: "k", Output: "first"})
+	c.add("k", runner.Result{ID: "k", Output: "second"})
+	res, ok := c.get("k")
+	if !ok || res.Output != "first" {
+		t.Errorf("got %q, want the first stored value", res.Output)
+	}
+	if entries, _ := c.stats(); entries != 1 {
+		t.Errorf("duplicate add grew the cache to %d entries", entries)
+	}
+}
+
+func TestResultCacheBoundHolds(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.add(fmt.Sprintf("k%d", i), runner.Result{})
+	}
+	entries, evictions := c.stats()
+	if entries != 8 {
+		t.Errorf("cache holds %d entries, bound is 8", entries)
+	}
+	if evictions != 92 {
+		t.Errorf("evictions = %d, want 92", evictions)
+	}
+}

@@ -3,7 +3,10 @@
 // otherwise (KiB/MiB are binary).
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Binary sizes in bytes.
 const (
@@ -24,6 +27,16 @@ const (
 
 // Bytes formats a byte count with a binary suffix (B, KiB, MiB, GiB).
 func Bytes(n int64) string {
+	// Factor the sign out first so a negative count picks its unit by
+	// magnitude (-2048 → "-2KiB") instead of falling through every
+	// threshold into the bytes branch. int64 negation overflows on
+	// MinInt64 only; route that one magnitude through float64.
+	if n < 0 {
+		if n == math.MinInt64 {
+			return "-" + trim(-float64(n)/GiB, "GiB")
+		}
+		return "-" + Bytes(-n)
+	}
 	switch {
 	case n >= GiB:
 		return trim(float64(n)/GiB, "GiB")
@@ -36,52 +49,81 @@ func Bytes(n int64) string {
 	}
 }
 
+// nonFinite renders NaN and ±Inf explicitly ("NaNFLOPS", "+Infs") so a
+// poisoned value is visible in a report instead of masquerading as a
+// plausible quantity in the smallest unit ("NaNns").
+func nonFinite(v float64, unit string) string {
+	return fmt.Sprintf("%g%s", v, unit)
+}
+
+// signSplit factors a finite value into its sign prefix and magnitude,
+// so every formatter selects its unit by magnitude and negative values
+// render in the same unit as their positive mirror.
+func signSplit(v float64) (sign string, mag float64) {
+	if math.Signbit(v) && v != 0 {
+		return "-", -v
+	}
+	return "", v
+}
+
 // Flops formats a floating-point-operations-per-second rate with a
 // decimal suffix (FLOPS, MFLOPS, GFLOPS, TFLOPS, PFLOPS, EFLOPS).
 func Flops(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nonFinite(v, "FLOPS")
+	}
+	sign, v := signSplit(v)
 	switch {
 	case v >= Exa:
-		return trim(v/Exa, "EFLOPS")
+		return sign + trim(v/Exa, "EFLOPS")
 	case v >= Peta:
-		return trim(v/Peta, "PFLOPS")
+		return sign + trim(v/Peta, "PFLOPS")
 	case v >= Tera:
-		return trim(v/Tera, "TFLOPS")
+		return sign + trim(v/Tera, "TFLOPS")
 	case v >= Giga:
-		return trim(v/Giga, "GFLOPS")
+		return sign + trim(v/Giga, "GFLOPS")
 	case v >= Mega:
-		return trim(v/Mega, "MFLOPS")
+		return sign + trim(v/Mega, "MFLOPS")
 	case v >= Kilo:
-		return trim(v/Kilo, "KFLOPS")
+		return sign + trim(v/Kilo, "KFLOPS")
 	default:
-		return trim(v, "FLOPS")
+		return sign + trim(v, "FLOPS")
 	}
 }
 
 // Rate formats a generic per-second rate with decimal suffixes.
 func Rate(v float64, unit string) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nonFinite(v, unit)
+	}
+	sign, v := signSplit(v)
 	switch {
 	case v >= Giga:
-		return trim(v/Giga, "G"+unit)
+		return sign + trim(v/Giga, "G"+unit)
 	case v >= Mega:
-		return trim(v/Mega, "M"+unit)
+		return sign + trim(v/Mega, "M"+unit)
 	case v >= Kilo:
-		return trim(v/Kilo, "K"+unit)
+		return sign + trim(v/Kilo, "K"+unit)
 	default:
-		return trim(v, unit)
+		return sign + trim(v, unit)
 	}
 }
 
 // Seconds formats a duration given in seconds using an adaptive unit.
 func Seconds(s float64) string {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return nonFinite(s, "s")
+	}
+	sign, s := signSplit(s)
 	switch {
 	case s >= 1:
-		return trim(s, "s")
+		return sign + trim(s, "s")
 	case s >= 1e-3:
-		return trim(s*1e3, "ms")
+		return sign + trim(s*1e3, "ms")
 	case s >= 1e-6:
-		return trim(s*1e6, "us")
+		return sign + trim(s*1e6, "us")
 	default:
-		return trim(s*1e9, "ns")
+		return sign + trim(s*1e9, "ns")
 	}
 }
 

@@ -1,6 +1,9 @@
 package units
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestBytes(t *testing.T) {
 	cases := []struct {
@@ -67,6 +70,90 @@ func TestSeconds(t *testing.T) {
 	for _, c := range cases {
 		if got := Seconds(c.in); got != c.want {
 			t.Errorf("Seconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Edge cases shared by every formatter: negative values must pick
+// their unit by magnitude (a -2ms stall is not "-2000000ns") and
+// non-finite values must render explicitly rather than as a plausible
+// quantity in the smallest unit.
+func TestSecondsEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{-0.002, "-2ms"},
+		{-186.8, "-186.8s"},
+		{-1e-5, "-10us"},
+		{-3e-9, "-3ns"},
+		{0, "0ns"},
+		{math.NaN(), "NaNs"},
+		{math.Inf(1), "+Infs"},
+		{math.Inf(-1), "-Infs"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFlopsEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{-620e6, "-620MFLOPS"},
+		{-1500, "-1.5KFLOPS"},
+		{-950, "-950FLOPS"},
+		{0, "0FLOPS"},
+		{math.NaN(), "NaNFLOPS"},
+		{math.Inf(1), "+InfFLOPS"},
+		{math.Inf(-1), "-InfFLOPS"},
+	}
+	for _, c := range cases {
+		if got := Flops(c.in); got != c.want {
+			t.Errorf("Flops(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRateEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{-5877, "-5.88Kops/s"},
+		{-42, "-42ops/s"},
+		{-4.52e6, "-4.52Mops/s"},
+		{math.NaN(), "NaNops/s"},
+		{math.Inf(1), "+Infops/s"},
+		{math.Inf(-1), "-Infops/s"},
+	}
+	for _, c := range cases {
+		if got := Rate(c.in, "ops/s"); got != c.want {
+			t.Errorf("Rate(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBytesEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{-512, "-512B"},
+		{-1024, "-1KiB"},
+		{-2048, "-2KiB"},
+		{-8 * MiB, "-8MiB"},
+		{-12 * GiB, "-12GiB"},
+		{math.MinInt64, "-8589934592GiB"},
+		{math.MaxInt64, "8589934592GiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }
