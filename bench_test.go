@@ -489,42 +489,71 @@ func simRingIters(p *simmpi.Proc, iters, bytes int) error {
 	return nil
 }
 
+// simRankScalingCase runs one (ranks, workers) point of the rank-scaling
+// benchmark and reports committed-events/s from the scheduler's own
+// counter.
+func simRankScalingCase(b *testing.B, ranks, per, iters, workers int) {
+	nodes := (ranks + per - 1) / per
+	var net *network.Network
+	if nodes <= 32 {
+		net = network.Star(nodes)
+	} else {
+		net = network.Tree(nodes, 32)
+	}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		net.Reset()
+		rep, err := simmpi.Run(simmpi.Config{Ranks: ranks, Net: net, RanksPerNode: per, Workers: workers},
+			func(p *simmpi.Proc) error {
+				return simRingIters(p, iters, 2048)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Sched.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkSimMPIRankScaling pins the scheduler's scaling behaviour from
 // 32 to 512 ranks (the Mont-Blanc follow-on regimes: arXiv:1508.05075,
 // arXiv:2007.04868 evaluate at hundreds-to-thousands of cores). The
 // committed-events/s metric should be roughly flat across rank counts
-// for an O(log R) scheduler and collapse for an O(R) one.
+// for an O(log R) scheduler and collapse for an O(R) one. The sub-
+// benchmark names are stable (benchstat history); the sequential path
+// (Workers 0) keeps them.
 func BenchmarkSimMPIRankScaling(b *testing.B) {
 	const per = 2
 	const iters = 20
 	for _, ranks := range []int{32, 128, 512} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
-			nodes := (ranks + per - 1) / per
-			var net *network.Network
-			if nodes <= 32 {
-				net = network.Star(nodes)
-			} else {
-				net = network.Tree(nodes, 32)
-			}
-			rounds := 0 // ops per allreduce: reduce+bcast tree depth
-			for k := 1; k < ranks; k <<= 1 {
-				rounds++
-			}
-			for i := 0; i < b.N; i++ {
-				net.Reset()
-				_, err := simmpi.Run(simmpi.Config{Ranks: ranks, Net: net, RanksPerNode: per},
-					func(p *simmpi.Proc) error {
-						return simRingIters(p, iters, 2048)
-					})
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			// Rough committed-op count: ring send+recv per rank per iter,
-			// plus ~2 ops per allreduce tree level per rank.
-			ops := float64(iters*ranks*2) + float64(iters*ranks*2*rounds)
-			b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			simRankScalingCase(b, ranks, per, iters, 0)
 		})
+	}
+}
+
+// BenchmarkSimMPIRankScalingParallel extends the curve to the O(10k)
+// regime and compares the conservative-parallel scheduler against the
+// sequential reference at each size: events/s at workers=4 over
+// workers=1 is the speedup the sharded event heaps buy (compare with
+// benchstat, or divide the reported metrics directly). On a single-core
+// host the parallel points measure scheduling overhead instead —
+// speedup needs GOMAXPROCS >= workers.
+func BenchmarkSimMPIRankScalingParallel(b *testing.B) {
+	const per = 2
+	cases := []struct {
+		ranks, iters int
+	}{
+		{512, 20},
+		{4096, 5},
+		{10240, 2},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("ranks=%d/workers=%d", c.ranks, workers), func(b *testing.B) {
+				simRankScalingCase(b, c.ranks, per, c.iters, workers)
+			})
+		}
 	}
 }
 

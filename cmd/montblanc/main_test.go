@@ -428,3 +428,78 @@ func TestWriteTimingsReportsWriteError(t *testing.T) {
 		t.Errorf("summary missing: %q", buf.String())
 	}
 }
+
+// --- worker-count flag validation -----------------------------------
+
+// -parallel and -sim-workers share one validation policy: negatives are
+// usage errors, zero means "default", absurd values clamp to the
+// documented bound with a note on stderr.
+func TestWorkerFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr; "" means don't care
+	}{
+		{"parallel-negative", []string{"-parallel", "-1", "-quick", "fig2"}, 2, "-parallel must be >= 0"},
+		{"parallel-zero-defaults", []string{"-parallel", "0", "-quick", "fig2"}, 0, ""},
+		{"parallel-clamped", []string{"-parallel", "100000", "-quick", "fig2"}, 0, "-parallel 100000 clamped to 256"},
+		{"sim-workers-negative", []string{"-sim-workers", "-3", "-quick", "fig2"}, 2, "-sim-workers must be >= 0"},
+		{"sim-workers-zero-sequential", []string{"-sim-workers", "0", "-quick", "fig2"}, 0, ""},
+		{"sim-workers-clamped", []string{"-sim-workers", "100000", "-quick", "fig2"}, 0, "-sim-workers 100000 clamped to 64"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, tc.wantCode, errOut)
+			}
+			if tc.wantErr != "" && !strings.Contains(errOut, tc.wantErr) {
+				t.Errorf("stderr %q lacks %q", errOut, tc.wantErr)
+			}
+		})
+	}
+}
+
+// The parallel DES scheduler must not move a byte of any experiment's
+// output: the quick suite at -sim-workers 1, 4 and 8 is compared
+// byte-for-byte against the sequential default.
+func TestSimWorkersOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-suite sweep in -short mode")
+	}
+	code, ref, _ := runCLI(t, "-quick", "all")
+	if code != 0 {
+		t.Fatalf("reference run exit %d", code)
+	}
+	for _, n := range []string{"1", "4", "8"} {
+		code, out, _ := runCLI(t, "-quick", "-sim-workers", n, "all")
+		if code != 0 {
+			t.Fatalf("-sim-workers %s exit %d", n, code)
+		}
+		if out != ref {
+			t.Errorf("-sim-workers %s stdout differs from sequential (%d vs %d bytes)",
+				n, len(out), len(ref))
+		}
+	}
+}
+
+// -time also reports the process-wide DES engine aggregate once any
+// simulation ran.
+func TestTimingIncludesEngineStats(t *testing.T) {
+	code, out, errOut := runCLI(t, "-quick", "-time", "fig3b")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "sim engine:") {
+		t.Errorf("stderr %q lacks the sim engine summary", errOut)
+	}
+	for _, field := range []string{"events/s", "windows", "mean lookahead", "cross-send ratio"} {
+		if !strings.Contains(errOut, field) {
+			t.Errorf("engine summary missing %q in %q", field, errOut)
+		}
+	}
+	if strings.Contains(out, "sim engine:") {
+		t.Error("engine summary leaked onto stdout")
+	}
+}

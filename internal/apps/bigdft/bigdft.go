@@ -140,6 +140,10 @@ type ScalingConfig struct {
 	// the Figure 4 picture.
 	JitterPct float64
 	Seed      uint64
+	// SimWorkers selects the simulator scheduler (see
+	// cluster.JobConfig.SimWorkers); results are byte-identical at any
+	// value.
+	SimWorkers int
 }
 
 func (c ScalingConfig) withDefaults() ScalingConfig {
@@ -184,7 +188,8 @@ func timeDistributed(c *cluster.Cluster, ranks int, cfg ScalingConfig, collectTr
 		// Per iteration: one compute interval plus three linear
 		// alltoallv transposes, each 2*(ranks-1) send/recv intervals
 		// and a collective interval.
-		TraceHint: cfg.Iters * (1 + 3*(2*(ranks-1)+1)),
+		TraceHint:  cfg.Iters * (1 + 3*(2*(ranks-1)+1)),
+		SimWorkers: cfg.SimWorkers,
 	}
 	totalBytes := 8 * cfg.GridPoints
 	flopsPerRank := float64(cfg.GridPoints) * cfg.FlopsPerPoint / float64(ranks)

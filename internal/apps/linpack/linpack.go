@@ -185,6 +185,10 @@ func SolveTime(p *platform.Platform, n int) float64 {
 type ScalingConfig struct {
 	N  int // matrix order
 	NB int // panel width (block size)
+	// SimWorkers selects the simulator scheduler (see
+	// cluster.JobConfig.SimWorkers); results are byte-identical at any
+	// value.
+	SimWorkers int
 }
 
 func (c ScalingConfig) withDefaults() ScalingConfig {
@@ -214,6 +218,7 @@ func TimeDistributed(c *cluster.Cluster, ranks int, cfg ScalingConfig) (*simmpi.
 		CoreFlopsPerSec: coreRate,
 		// The matrix dominates memory: 8 N^2 bytes.
 		MemoryBytes: int64(8 * cfg.N * cfg.N),
+		SimWorkers:  cfg.SimWorkers,
 	}
 	panels := cfg.N / cfg.NB
 	return c.Run(job, func(p *simmpi.Proc) error {

@@ -273,6 +273,10 @@ type ScalingConfig struct {
 	// MemoryBytes is the instance footprint; the paper's use case does
 	// not fit one Tibidabo node, forcing a 4-core (2-node) baseline.
 	MemoryBytes int64
+	// SimWorkers selects the simulator scheduler (see
+	// cluster.JobConfig.SimWorkers); results are byte-identical at any
+	// value.
+	SimWorkers int
 }
 
 func (c ScalingConfig) withDefaults() ScalingConfig {
@@ -329,7 +333,8 @@ func timeDistributed(c *cluster.Cluster, ranks int, cfg ScalingConfig, collectTr
 		CollectTrace:    collectTrace,
 		// Per step: one compute interval plus a send and a recv per
 		// grid neighbour (at most four).
-		TraceHint: cfg.Steps * 9,
+		TraceHint:  cfg.Steps * 9,
+		SimWorkers: cfg.SimWorkers,
 	}
 	rows, cols := grid(ranks)
 	elemsPerRank := float64(cfg.Elems) / float64(ranks)

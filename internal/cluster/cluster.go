@@ -71,6 +71,11 @@ type JobConfig struct {
 	// MemoryBytes is the job's total footprint; the job must fit the
 	// nodes it spans (the paper's SPECFEM3D instance needs >= 2 nodes).
 	MemoryBytes int64
+	// SimWorkers selects the simulator's scheduler: <= 1 runs the
+	// sequential reference, > 1 the conservative-parallel windowed
+	// scheduler with that many shards (see simmpi.Config.Workers).
+	// Either way the results are byte-identical.
+	SimWorkers int
 }
 
 // Validate checks the job against the cluster.
@@ -119,6 +124,7 @@ func (c *Cluster) Run(job JobConfig, body func(*simmpi.Proc) error) (*simmpi.Rep
 		CoreFlopsPerSec: job.CoreFlopsPerSec,
 		CollectTrace:    job.CollectTrace,
 		TraceHint:       job.TraceHint,
+		Workers:         job.SimWorkers,
 	}
 	return simmpi.Run(cfg, body)
 }

@@ -35,6 +35,13 @@ type Options struct {
 	// The service uses this to honor per-request machines while
 	// concurrent requests never fight over the process-wide registry.
 	Specs []platform.Spec
+	// SimWorkers runs the cluster simulations inside experiments on the
+	// conservative-parallel scheduler with this many shards (<= 1 keeps
+	// the sequential reference). Output is byte-identical at any value,
+	// which is why it is deliberately NOT part of the cache key
+	// (CanonicalJSON): the same canonical request may execute on either
+	// scheduler and replay the same bytes.
+	SimWorkers int
 }
 
 // Resolver returns the platform resolver for these options: the global

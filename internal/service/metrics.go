@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"montblanc/internal/runner"
+	"montblanc/internal/simmpi"
 )
 
 // metrics is the service's observability surface, rendered by
@@ -73,6 +74,11 @@ type wireMetrics struct {
 	InflightRequests int64               `json:"inflight_requests"`
 	InflightRuns     int                 `json:"inflight_runs"`
 	Experiments      map[string]expStats `json:"experiments"`
+	// Sim is the process-wide DES scheduler aggregate (committed-event
+	// throughput, window count, mean lookahead, cross-shard-send
+	// ratio). A new field on the stable /metrics contract — existing
+	// names never change.
+	Sim simmpi.EngineStats `json:"sim"`
 }
 
 // snapshot renders the current state. The per-experiment map is
@@ -95,5 +101,6 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64, inflightRuns
 		InflightRequests: m.inflightReqs.Load(),
 		InflightRuns:     inflightRuns,
 		Experiments:      exps,
+		Sim:              simmpi.Engine(),
 	}
 }

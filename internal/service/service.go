@@ -32,6 +32,7 @@ import (
 	"montblanc/internal/platform"
 	"montblanc/internal/report"
 	"montblanc/internal/runner"
+	"montblanc/internal/simmpi"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -195,6 +196,13 @@ type wireOptions struct {
 	Quick     bool     `json:"quick"`
 	Seed      uint64   `json:"seed"`
 	Platforms []string `json:"platforms,omitempty"`
+	// SimWorkers selects the DES scheduler for this request's
+	// simulations (<= 1 sequential reference, > 1 conservative-
+	// parallel shards; clamped to simmpi.MaxWorkers). Output is
+	// byte-identical at any value, so it is deliberately excluded from
+	// the cache key: a cached result serves requests at any worker
+	// count.
+	SimWorkers int `json:"sim_workers,omitempty"`
 }
 
 // wireError is the structured error envelope every non-2xx response
@@ -240,11 +248,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Options.SimWorkers < 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_options",
+			"options.sim_workers must be >= 0, got %d", req.Options.SimWorkers)
+		return
+	}
+	if req.Options.SimWorkers > simmpi.MaxWorkers {
+		req.Options.SimWorkers = simmpi.MaxWorkers
+	}
 	opts := experiments.Options{
-		Quick:     req.Options.Quick,
-		Seed:      req.Options.Seed,
-		Platforms: req.Options.Platforms,
-		Specs:     req.Specs,
+		Quick:      req.Options.Quick,
+		Seed:       req.Options.Seed,
+		Platforms:  req.Options.Platforms,
+		Specs:      req.Specs,
+		SimWorkers: req.Options.SimWorkers,
 	}
 	// Validate inline specs up front so a bad machine is a 400 naming
 	// the spec, not a per-experiment failure buried in results.

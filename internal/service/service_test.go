@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"montblanc/internal/experiments"
+	"montblanc/internal/simmpi"
 )
 
 // fakeMatch builds a Match function over a fixed experiment set (exact
@@ -437,5 +438,81 @@ func TestListEndpointsAndHealth(t *testing.T) {
 	getJSON(t, ts, "/healthz", &health)
 	if health.Status != "ok" {
 		t.Errorf("healthz = %+v", health)
+	}
+}
+
+// --- sim_workers option ---------------------------------------------
+
+// sim_workers validates like the CLI flag (negative is a 400, absurd
+// values clamp to simmpi.MaxWorkers) and is deliberately NOT part of
+// the cache key: results are byte-identical at any worker count, so a
+// request differing only in sim_workers is a cache hit.
+func TestSimWorkersOption(t *testing.T) {
+	var last atomic.Int64
+	exp := experiments.Experiment{
+		ID:    "toy",
+		Title: "records the sim worker option",
+		Run: func(w io.Writer, o experiments.Options) error {
+			last.Store(int64(o.SimWorkers))
+			fmt.Fprintln(w, "done")
+			return nil
+		},
+	}
+	s := New(Config{Match: fakeMatch(exp)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	t.Run("negative-rejected", func(t *testing.T) {
+		resp, body := postRun(t, ts, `{"experiments":["toy"],"options":{"sim_workers":-2}}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "sim_workers") {
+			t.Errorf("error body %q does not name sim_workers", body)
+		}
+	})
+	t.Run("clamped", func(t *testing.T) {
+		resp, body := postRun(t, ts, `{"experiments":["toy"],"options":{"seed":1,"sim_workers":100000}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if got := last.Load(); got != simmpi.MaxWorkers {
+			t.Errorf("experiment saw SimWorkers=%d, want clamp to %d", got, simmpi.MaxWorkers)
+		}
+	})
+	t.Run("excluded-from-cache-key", func(t *testing.T) {
+		resp, cold := postRun(t, ts, `{"experiments":["toy"],"options":{"seed":2,"sim_workers":2}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold status %d", resp.StatusCode)
+		}
+		resp2, warm := postRun(t, ts, `{"experiments":["toy"],"options":{"seed":2,"sim_workers":8}}`)
+		if resp2.StatusCode != http.StatusOK {
+			t.Fatalf("warm status %d", resp2.StatusCode)
+		}
+		if got := resp2.Header.Get("X-Montblanc-Cache"); got != "hits=1 misses=0" {
+			t.Errorf("cache header %q: sim_workers leaked into the cache key", got)
+		}
+		if cold != warm {
+			t.Errorf("cache hit not byte-identical across worker counts")
+		}
+	})
+}
+
+// /metrics carries the DES scheduler aggregate under the "sim" key —
+// an additive extension of the stable field contract.
+func TestMetricsSimSection(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var m map[string]json.RawMessage
+	getJSON(t, ts, "/metrics", &m)
+	raw, ok := m["sim"]
+	if !ok {
+		t.Fatalf("/metrics has no sim section: %v", m)
+	}
+	var sim simmpi.EngineStats
+	if err := json.Unmarshal(raw, &sim); err != nil {
+		t.Fatalf("sim section does not decode as EngineStats: %v", err)
 	}
 }

@@ -34,6 +34,11 @@ import (
 // follows common MPI defaults of the era.
 const EagerThreshold = 64 << 10
 
+// MaxWorkers bounds Config.Workers: shards beyond it cost barrier
+// synchronization without buying parallelism on any plausible host.
+// Absurd requests are clamped here rather than rejected.
+const MaxWorkers = 64
+
 // Config describes one simulated job.
 type Config struct {
 	Ranks        int
@@ -59,6 +64,17 @@ type Config struct {
 	// never affects results, only allocation behaviour; zero (or
 	// tracing off) means no preallocation.
 	TraceHint int
+
+	// Workers selects the scheduler. At <= 1 (the default) events
+	// commit on the sequential reference scheduler in global
+	// (ready, rank) order. Above 1 the conservative parallel scheduler
+	// shards nodes across up to Workers goroutines committing in
+	// lookahead-bounded windows (see parallel.go and SIMMPI.md);
+	// values above MaxWorkers are clamped, and the engine falls back
+	// to the sequential path when the network reports no lookahead or
+	// the job is too small to shard. Output is byte-identical at every
+	// value — Workers trades wall-clock only.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CopyBandwidth <= 0 {
 		c.CopyBandwidth = 600e6
+	}
+	if c.Workers > MaxWorkers {
+		c.Workers = MaxWorkers
 	}
 	return c
 }
@@ -90,6 +109,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("simmpi: %d ranks at %d per node need %d nodes, network has %d",
 			c.Ranks, c.RanksPerNode, need, c.Net.NumNodes)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("simmpi: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
@@ -99,6 +121,23 @@ type Report struct {
 	RankSeconds []float64
 	Trace       *trace.Trace // nil unless CollectTrace
 	Drops       uint64       // network buffer overruns
+	Sched       SchedStats   // how the scheduler executed the run
+}
+
+// SchedStats describes one run from the scheduler's point of view:
+// the observability the speedup curve is explained with. Every field
+// except Workers, Windows and Wall is invariant in the worker count —
+// cross-node sends go through the window barrier at any shard layout,
+// so the cross-send ratio measured sequentially predicts the parallel
+// barrier traffic.
+type SchedStats struct {
+	Workers    int     // scheduler shards used (1 = sequential reference)
+	Lookahead  float64 // seconds: the network's min cross-node latency (0 = unknown)
+	Windows    uint64  // commit windows barriered (0 on the sequential path)
+	Events     uint64  // operations committed
+	LocalSends uint64  // intra-node sends, committed shard-locally
+	CrossSends uint64  // cross-node sends, exchanged at window barriers
+	Wall       float64 // host seconds spent inside the run
 }
 
 type opKind int
@@ -189,6 +228,7 @@ type Proc struct {
 	rank, size   int
 	now          float64
 	w            *world
+	opCh         chan *op // where this rank declares operations (per-shard when parallel)
 	tr           *trace.Trace
 	collSeq      map[string]int
 	droppedRecvs int // running count of retransmitted messages received
@@ -254,7 +294,7 @@ func (p *Proc) post(kind opKind, src, dst, tag, bytes int) resumeMsg {
 	o.matched = false
 	o.matchedMsg = msg{}
 	o.err = nil
-	p.w.opCh <- o
+	p.opCh <- o
 	return <-p.w.resume[p.rank]
 }
 
@@ -320,23 +360,16 @@ func Run(cfg Config, body func(*Proc) error) (*Report, error) {
 	return run(cfg, body, hooks{})
 }
 
-// run is Run with scheduler hooks (production callers pass the zero
-// value via Run; tests use the hooks to compare pickers and observe
-// commit order).
-func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	cfg = cfg.withDefaults()
+// newWorld builds the state both schedulers share: mailboxes, resume
+// channels, the pending table and the interned trace labels.
+func newWorld(cfg Config, h hooks) *world {
 	w := &world{
 		cfg:     cfg,
-		opCh:    make(chan *op),
 		resume:  make([]chan resumeMsg, cfg.Ranks),
 		mail:    make([]mailbox, cfg.Ranks),
 		pending: make([]*op, cfg.Ranks),
 		hooks:   h,
 	}
-	w.heap.a = make([]*op, 0, cfg.Ranks)
 	if cfg.CollectTrace {
 		w.sendLabels = make([]string, cfg.Ranks)
 		w.recvLabels = make([]string, cfg.Ranks)
@@ -350,10 +383,18 @@ func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
 			w.comms = make([]trace.Comm, 0, cfg.Ranks*cfg.TraceHint/2)
 		}
 	}
+	return w
+}
+
+// spawnProcs starts one goroutine per rank running body; each rank
+// declares operations on chFor(rank) — the shared channel sequentially,
+// its shard's channel in parallel.
+func (w *world) spawnProcs(body func(*Proc) error, chFor func(rank int) chan *op) []*Proc {
+	cfg := w.cfg
 	procs := make([]*Proc, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		w.resume[r] = make(chan resumeMsg, 1)
-		p := &Proc{rank: r, size: cfg.Ranks, w: w, collSeq: map[string]int{}}
+		p := &Proc{rank: r, size: cfg.Ranks, w: w, opCh: chFor(r), collSeq: map[string]int{}}
 		if cfg.CollectTrace {
 			p.tr = trace.New(cfg.Ranks)
 			if cfg.TraceHint > 0 {
@@ -375,14 +416,70 @@ func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
 			// committed, so the reusable op struct is free for the exit.
 			o := &p.postBuf
 			*o = op{kind: opExit, rank: p.rank, time: p.now, err: err}
-			p.w.opCh <- o
+			p.opCh <- o
 		}(p)
 	}
+	return procs
+}
+
+// mergeTrace assembles the final trace: per-rank intervals in rank
+// order plus the global communication log, then the canonical sort.
+func mergeTrace(cfg Config, procs []*Proc, comms []trace.Comm) *trace.Trace {
+	tr := trace.New(cfg.Ranks)
+	nIntervals := 0
+	for _, p := range procs {
+		nIntervals += len(p.tr.Intervals)
+	}
+	tr.Reserve(nIntervals, len(comms))
+	for _, p := range procs {
+		tr.Merge(p.tr)
+	}
+	tr.Comms = append(tr.Comms, comms...)
+	tr.Sort()
+	return tr
+}
+
+// shardCount returns how many scheduler shards a run will use: Workers
+// bounded by the node count, collapsing to the sequential path when
+// parallelism cannot help (one worker, one node) or cannot be proven
+// exact (no lookahead from the network, scheduler observation hooks).
+func shardCount(cfg Config, h hooks) int {
+	if cfg.Workers <= 1 || h.linearScan || h.onCommit != nil {
+		return 1
+	}
+	if !(cfg.Net.Lookahead() > 0) {
+		return 1
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	workers := cfg.Workers
+	if workers > nodes {
+		workers = nodes
+	}
+	return workers
+}
+
+// run is Run with scheduler hooks (production callers pass the zero
+// value via Run; tests use the hooks to compare pickers and observe
+// commit order).
+func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if workers := shardCount(cfg, h); workers > 1 {
+		return runParallel(cfg, body, workers)
+	}
+	start := nowMonotonic()
+	w := newWorld(cfg, h)
+	w.opCh = make(chan *op)
+	w.heap.a = make([]*op, 0, cfg.Ranks)
+	procs := w.spawnProcs(body, func(int) chan *op { return w.opCh })
 
 	endTimes := make([]float64, cfg.Ranks)
 	rankErrs := make([]error, cfg.Ranks)
 	live := cfg.Ranks
 	netErr := error(nil)
+	stats := SchedStats{Workers: 1, Lookahead: cfg.Net.Lookahead()}
 
 	for live > 0 && netErr == nil {
 		// Collect until every live rank has declared its next operation
@@ -408,11 +505,17 @@ func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
 		}
 		w.pending[best.rank] = nil
 		w.nPending--
+		stats.Events++
 		if h.onCommit != nil {
 			h.onCommit(best.kind, best.rank, best.ready)
 		}
 		switch best.kind {
 		case opSend:
+			if w.node(best.rank) == w.node(best.dst) {
+				stats.LocalSends++
+			} else {
+				stats.CrossSends++
+			}
 			res, err := w.deliver(best)
 			if err != nil {
 				netErr = err
@@ -453,26 +556,17 @@ func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
 		}
 	}
 
-	rep := &Report{RankSeconds: endTimes, Drops: cfg.Net.Drops()}
+	stats.Wall = nowMonotonic() - start
+	rep := &Report{RankSeconds: endTimes, Drops: cfg.Net.Drops(), Sched: stats}
 	for _, t := range endTimes {
 		if t > rep.Seconds {
 			rep.Seconds = t
 		}
 	}
 	if cfg.CollectTrace {
-		tr := trace.New(cfg.Ranks)
-		nIntervals := 0
-		for _, p := range procs {
-			nIntervals += len(p.tr.Intervals)
-		}
-		tr.Reserve(nIntervals, len(w.comms))
-		for _, p := range procs {
-			tr.Merge(p.tr)
-		}
-		tr.Comms = append(tr.Comms, w.comms...)
-		tr.Sort()
-		rep.Trace = tr
+		rep.Trace = mergeTrace(cfg, procs, w.comms)
 	}
+	recordEngineRun(stats)
 	return rep, nil
 }
 

@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` text output on stdin to
+// a JSON document on stdout, so CI can archive benchmark runs (e.g.
+// BENCH_simmpi.json) in a machine-readable form. The text lines are
+// preserved verbatim in the document too, so the original file remains
+// benchstat-comparable: feed the "lines" entries back to benchstat to
+// diff two archived runs.
+//
+// Usage:
+//
+//	go test -bench=SimMPI -benchtime=1x -run='^$' . | go run ./tools/benchjson > BENCH_simmpi.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line: the stable sub-benchmark name,
+// the iteration count and every reported metric keyed by its unit
+// (ns/op, events/s, B/op, ...).
+type result struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Context map[string]string `json:"context"` // goos, goarch, pkg, cpu
+	Results []result          `json:"results"`
+	Lines   []string          `json:"lines"` // verbatim benchmark lines, for benchstat
+}
+
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func main() {
+	doc := document{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if rest, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Context[key] = rest
+			}
+		}
+		if r, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, r)
+			doc.Lines = append(doc.Lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkSimMPIRankScaling/ranks=32-4 \t 100\t 4532780 ns/op\t 836802 events/s",
+			want: result{
+				Name: "BenchmarkSimMPIRankScaling/ranks=32-4",
+				N:    100,
+				Metrics: map[string]float64{
+					"ns/op":    4532780,
+					"events/s": 836802,
+				},
+			},
+			ok: true,
+		},
+		{
+			line: "BenchmarkX 3 120 ns/op 16 B/op 2 allocs/op",
+			want: result{
+				Name: "BenchmarkX",
+				N:    3,
+				Metrics: map[string]float64{
+					"ns/op":     120,
+					"B/op":      16,
+					"allocs/op": 2,
+				},
+			},
+			ok: true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \tmontblanc\t1.187s", ok: false},
+		{line: "goos: linux", ok: false},
+		{line: "", ok: false},
+	}
+	for _, tc := range cases {
+		got, ok := parseLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
