@@ -72,6 +72,20 @@
 // registering anything. SERVICE.md documents the endpoints, schemas,
 // cache-key recipe and /metrics fields.
 //
+// Determinism rules are enforced statically: tools/detlint is a
+// go/analysis-style multichecker (runnable standalone or via `go vet
+// -vettool`) whose four analyzers encode the byte-identity contract —
+// maprange (no map-iteration order in output; collect-then-sort is
+// recognized), wallclock (no time.Now/os.Getenv in deterministic
+// packages; timing layers exempted by detlint.json), seededrand (no
+// math/rand or crypto/rand; use internal/xrand with an explicit
+// seed), and floatorder (no FP accumulation in map or goroutine
+// order, since IEEE-754 addition is not associative). Suppressions
+// are `//detlint:allow <analyzer> -- <reason>` directives; reasons
+// are mandatory and stale directives are themselves findings. CI
+// fails on any unsuppressed diagnostic. tools/detlint/DETLINT.md
+// documents the analyzers, directive syntax and package policy.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
 // measured results, and cmd/montblanc for the experiment driver.
 package montblanc

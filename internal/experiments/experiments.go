@@ -229,9 +229,11 @@ func streamSequential(w io.Writer, es []Experiment, o Options) ([]runner.Result,
 		if _, err := fmt.Fprintf(w, sectionHeader, e.ID, e.Title); err != nil {
 			return results, fmt.Errorf("experiments: writing %s section: %w", e.ID, err)
 		}
+		//detlint:allow wallclock -- wall-clock telemetry: Duration feeds -time/-json reporting, never the experiment bytes
 		start := time.Now()
 		err := e.Run(w, o)
 		results = append(results, runner.Result{
+			//detlint:allow wallclock -- wall-clock telemetry: Duration feeds -time/-json reporting, never the experiment bytes
 			ID: e.ID, Title: e.Title, Duration: time.Since(start), Err: err,
 		})
 		if err != nil {

@@ -18,12 +18,12 @@ func TestFormatFloatEdgeCases(t *testing.T) {
 		{math.Inf(-1), "-Inf"},
 		{0, "0"},
 		{-0.0, "0"},
-		{1e9, "1000000000"},      // at the integer cutoff: falls to the >=1000 branch
-		{2.5e9, "2500000000"},    // large non-integers lose the fraction, not digits
+		{1e9, "1000000000"},   // at the integer cutoff: falls to the >=1000 branch
+		{2.5e9, "2500000000"}, // large non-integers lose the fraction, not digits
 		{-1e12, "-1000000000000"},
 		{1e18, "1000000000000000000"},
 		{999.994, "999.99"},
-		{1234.5, "1234"},  // >=1000: rounded to integer (1234.5 rounds to even)
+		{1234.5, "1234"}, // >=1000: rounded to integer (1234.5 rounds to even)
 		{1, "1"},
 		{-1.005, "-1.00"},
 		{0.00004, "0.0000"}, // underflows the 4-decimal format

@@ -152,7 +152,7 @@ func TestResultCarriesErrorAndPartialOutput(t *testing.T) {
 
 func TestDispatchOrderHeaviestFirst(t *testing.T) {
 	tasks := []Task{
-		{ID: "light"},               // zero weight counts as 1
+		{ID: "light"}, // zero weight counts as 1
 		{ID: "heavy", Weight: 100},
 		{ID: "mid", Weight: 10},
 		{ID: "light2", Weight: 1},

@@ -8,8 +8,11 @@ import (
 
 // engineStart anchors nowMonotonic: wall-clock durations measured
 // against a process-local monotonic origin.
+//
+//detlint:allow wallclock -- monotonic origin for SchedStats.Wall telemetry; wall time feeds -time and /metrics, never simulation results
 var engineStart = time.Now()
 
+//detlint:allow wallclock -- wall-clock telemetry only (events/s rates); simulation output never includes it
 func nowMonotonic() float64 { return time.Since(engineStart).Seconds() }
 
 // engineTotals aggregates SchedStats across every Run in the process,

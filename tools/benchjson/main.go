@@ -13,7 +13,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -54,9 +56,14 @@ func parseLine(line string) (result, bool) {
 	return r, true
 }
 
-func main() {
+// run converts benchmark text on r to the JSON document on w.
+// Malformed benchmark-shaped lines are skipped, not fatal — `go test
+// -bench` output legitimately interleaves PASS/ok/log noise — but a
+// run that yields zero parsable results is an error, so an upstream
+// benchmark failure cannot produce an empty-but-plausible artifact.
+func run(r io.Reader, w io.Writer) error {
 	doc := document{Context: map[string]string{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -71,16 +78,18 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	if len(doc.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return errors.New("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	return enc.Encode(doc)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

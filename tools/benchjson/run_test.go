@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// These tests pin the unhappy paths: benchjson feeds CI artifacts, so
+// a malformed or empty benchmark run must fail loudly instead of
+// archiving a plausible-looking empty document.
+
+func TestRunEmptyInputFails(t *testing.T) {
+	var out strings.Builder
+	err := run(strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("empty input: err = %v, want 'no benchmark lines'", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty input still wrote output: %q", out.String())
+	}
+}
+
+func TestRunNoiseOnlyInputFails(t *testing.T) {
+	in := `goos: linux
+goarch: arm64
+PASS
+ok  	montblanc	1.187s
+`
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out); err == nil {
+		t.Fatal("context-and-noise-only input produced a document")
+	}
+}
+
+func TestRunSkipsMalformedLinesKeepsGood(t *testing.T) {
+	in := `goos: linux
+cpu: Cortex-A9
+BenchmarkGood 10 250 ns/op
+Benchmark 10 250 ns/op extra-note
+BenchmarkBadIters notanumber 250 ns/op
+BenchmarkBadValue 10 nan-but-not-float ns/op
+BenchmarkTooShort 10
+`
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	// "Benchmark 10 250 ns/op extra-note" has the Benchmark prefix
+	// and a valid leading pair: it parses, with the odd trailing
+	// field ignored (benchstat does the same).
+	wantNames := []string{"BenchmarkGood", "Benchmark"}
+	if len(doc.Results) != len(wantNames) {
+		t.Fatalf("got %d results %v, want %d", len(doc.Results), doc.Results, len(wantNames))
+	}
+	for i, want := range wantNames {
+		if doc.Results[i].Name != want {
+			t.Errorf("result %d = %q, want %q", i, doc.Results[i].Name, want)
+		}
+	}
+	if doc.Context["cpu"] != "Cortex-A9" || doc.Context["goos"] != "linux" {
+		t.Errorf("context not captured: %v", doc.Context)
+	}
+	// Lines must mirror Results one-to-one for benchstat replay.
+	if len(doc.Lines) != len(doc.Results) {
+		t.Errorf("lines/results mismatch: %d vs %d", len(doc.Lines), len(doc.Results))
+	}
+}
+
+func TestRunOverlongLineFails(t *testing.T) {
+	// A line beyond the 1 MiB scanner buffer is a scanner error, not
+	// a silent truncation.
+	in := "BenchmarkHuge 1 " + strings.Repeat("x", 2<<20) + " ns/op\n"
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out); err == nil {
+		t.Fatal("over-long line did not error")
+	}
+}
+
+func TestRunLastContextWins(t *testing.T) {
+	in := `pkg: montblanc/a
+pkg: montblanc/b
+BenchmarkX 1 1 ns/op
+`
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["pkg"] != "montblanc/b" {
+		t.Errorf("pkg context = %q, want last occurrence to win", doc.Context["pkg"])
+	}
+}

@@ -1,0 +1,138 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic), shaped so detlint's analyzers would port to the real
+// framework unchanged if x/tools ever becomes a dependency. The repo
+// intentionally has zero external modules, so the framework lives
+// in-tree.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one determinism rule: a name (used in
+// //detlint:allow directives and policy exemptions), documentation,
+// and a Run function executed once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass carries one analyzer's view of a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report is installed by the driver; analyzers call Reportf.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position. Category is the analyzer
+// name (the driver fills it in), so directive matching and output
+// formatting never depend on analyzer internals.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// WithStack walks root in depth-first order, calling fn with the node
+// and the stack of ancestors (stack[len(stack)-1] == n). Returning
+// false prunes the subtree. It mirrors x/tools' inspector.WithStack
+// closely enough for detlint's needs.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// ast.Inspect will not send the pop for a pruned
+			// subtree, so unwind here.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// ObjectOf resolves the object for an identifier through either Uses
+// or Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// BaseIdent peels selectors, indexing, stars and parens off an
+// expression and returns the root identifier, if any: out, out[i],
+// s.field, (*p).x all resolve to their leftmost name.
+func BaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredOutside reports whether the identifier's object is declared
+// outside the [lo, hi] node span — i.e. the value outlives (or
+// pre-dates) the construct being analyzed. Identifiers that do not
+// resolve (package names, field selectors) count as outside.
+func DeclaredOutside(info *types.Info, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := ObjectOf(info, id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// IsCallTo reports whether call invokes the package-level function
+// pkgPath.name, resolved through the type checker (so aliased imports
+// and shadowed names are handled correctly).
+func IsCallTo(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// CalleeFunc returns the *types.Func a call resolves to, or nil for
+// calls through function values, type conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := ObjectOf(info, id).(*types.Func)
+	return fn
+}

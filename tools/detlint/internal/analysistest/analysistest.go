@@ -1,0 +1,171 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest with the stdlib only.
+//
+// Fixtures live under <testdata>/src/<pkg>/. A line that should be
+// flagged carries a trailing comment:
+//
+//	for k := range m { // want `range over map`
+//
+// where the backquoted text is a regexp matched against the
+// diagnostic message. Multiple expectations may follow one want.
+// Every diagnostic must match a want on its line and every want must
+// be matched by a diagnostic, so fixtures pin both the positives and
+// the negatives.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"montblanc/tools/detlint/internal/analysis"
+	"montblanc/tools/detlint/internal/load"
+)
+
+// wantRe matches backquoted or double-quoted expectations after
+// "want".
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run analyzes <testdata>/src/<pkg> with a and reports mismatches on
+// t. testdata is usually "testdata" relative to the test.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("analysistest: no fixtures in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	files, srcs, err := load.ParseFiles(fset, dir, names)
+	if err != nil {
+		t.Fatalf("analysistest: parsing fixtures: %v", err)
+	}
+
+	// Resolve fixture imports (stdlib and in-module) through export
+	// data built on demand by the go command.
+	importSet := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := load.List(".", paths...)
+		if err != nil {
+			t.Fatalf("analysistest: resolving fixture imports: %v", err)
+		}
+		exports = load.Exports(listed)
+	}
+	imp := load.NewImporter(fset, exports, nil)
+	target := load.Check(pkg, dir, fset, files, srcs, imp)
+	if target.TypeError != nil {
+		t.Fatalf("analysistest: type-checking %s: %v", pkg, target.TypeError)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       target.Pkg,
+		TypesInfo: target.Info,
+		Report: func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			got = append(got, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+
+	wants := parseWants(t, fset, dir, names, srcs)
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants scans fixture sources for `// want ...` comments.
+func parseWants(t *testing.T, fset *token.FileSet, dir string, names []string, srcs [][]byte) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	srcIdx := 0
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src := srcs[srcIdx]
+		srcIdx++
+		file := filepath.Join(dir, name)
+		for i, line := range strings.Split(string(src), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(comment, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", file, i+1, comment)
+			}
+			for _, m := range ms {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("analysistest: no want comments in %s — fixtures must pin expected findings", dir)
+	}
+	return wants
+}

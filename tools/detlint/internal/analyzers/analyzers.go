@@ -1,0 +1,31 @@
+// Package analyzers enumerates every determinism rule detlint ships.
+package analyzers
+
+import (
+	"montblanc/tools/detlint/internal/analysis"
+	"montblanc/tools/detlint/internal/analyzers/floatorder"
+	"montblanc/tools/detlint/internal/analyzers/maprange"
+	"montblanc/tools/detlint/internal/analyzers/seededrand"
+	"montblanc/tools/detlint/internal/analyzers/wallclock"
+)
+
+// All returns the full analyzer set in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatorder.Analyzer,
+		maprange.Analyzer,
+		seededrand.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// Known reports whether name is a shipped analyzer — used to reject
+// //detlint:allow directives naming analyzers that do not exist.
+func Known(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

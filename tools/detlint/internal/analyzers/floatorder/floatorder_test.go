@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"montblanc/tools/detlint/internal/analysistest"
+	"montblanc/tools/detlint/internal/analyzers/floatorder"
+)
+
+func TestFloatOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", floatorder.Analyzer, "floatorder")
+}

@@ -1,0 +1,60 @@
+// Fixtures for the floatorder analyzer.
+package floatorder
+
+func mapOrderSums(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `iteration order`
+	}
+	total := 0.0
+	for k := range m {
+		total = total + m[k] // want `iteration order`
+	}
+	return sum + total
+}
+
+func nestedClosureStillMapOrder(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		func() {
+			sum += v // want `iteration order`
+		}()
+	}
+	return sum
+}
+
+func sharedGoroutineSum(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			sum += x // want `goroutine`
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+func deterministicSums(m map[string]float64, xs []float64) float64 {
+	var sum float64
+	for _, x := range xs { // slice order is fixed: fine
+		sum += x
+	}
+	n := 0
+	for range m { // integer counting is exact and commutative: fine
+		n++
+	}
+	var perKey float64
+	for k, v := range m {
+		local := v * 2 // fresh float per iteration: fine
+		_ = local
+		_ = k
+	}
+	go func() {
+		local := 0.0 // goroutine-local accumulator: fine
+		local += 1
+		_ = local
+	}()
+	return sum + perKey + float64(n)
+}

@@ -1,0 +1,301 @@
+// Package maprange flags `for … range` over maps whose iteration
+// order can leak into output.
+//
+// Go randomizes map iteration order per run, so any map range whose
+// body appends to an escaping slice, writes to an output sink, sends
+// on a channel, or accumulates floating-point values produces
+// run-dependent bytes — exactly what the repo's byte-identity contract
+// forbids. The one sanctioned idiom is collect-then-sort: a loop that
+// only appends keys or values to a slice which is sorted before use
+// is deterministic, and the analyzer recognizes it.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"montblanc/tools/detlint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration whose order reaches output " +
+		"(escaping appends, writes, channel sends, float accumulation) " +
+		"unless the collected keys are sorted before use",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, stack)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// effect is one order-dependent action found in a loop body.
+type effect struct {
+	pos  token.Pos
+	what string
+	// appendTo is the target object for pure-append effects; such
+	// effects are forgiven when the slice is sorted after the loop.
+	appendTo types.Object
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	info := pass.TypesInfo
+	var effects []effect
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			effects = append(effects, assignEffects(info, rs, s)...)
+		case *ast.SendStmt:
+			effects = append(effects, effect{
+				pos: s.Arrow, what: "sends on a channel in map order",
+			})
+		case *ast.CallExpr:
+			if name, sink := outputCall(info, rs, s); sink {
+				effects = append(effects, effect{
+					pos: s.Pos(), what: "writes output via " + name + " in map order",
+				})
+			}
+		}
+		return true
+	})
+
+	// Forgive appends whose target slice is sorted after the loop —
+	// the canonical collect-then-sort idiom.
+	kept := effects[:0]
+	for _, e := range effects {
+		if e.appendTo != nil && sortedAfter(info, rs, stack, e.appendTo) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(kept) == 0 {
+		return
+	}
+	pass.Reportf(rs.For,
+		"range over map %s is nondeterministic: body %s; sort the keys first or add //detlint:allow maprange -- <reason>",
+		types.ExprString(rs.X), kept[0].what)
+}
+
+// assignEffects classifies one assignment inside the loop body.
+func assignEffects(info *types.Info, rs *ast.RangeStmt, s *ast.AssignStmt) []effect {
+	var out []effect
+	for i, lhs := range s.Lhs {
+		base := analysis.BaseIdent(lhs)
+		if base == nil || !analysis.DeclaredOutside(info, base, rs.Pos(), rs.End()) {
+			continue
+		}
+		if i < len(s.Rhs) {
+			if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+				out = append(out, effect{
+					pos:      s.Pos(),
+					what:     "appends to " + base.Name + ", which escapes the loop",
+					appendTo: analysis.ObjectOf(info, base),
+				})
+				continue
+			}
+		}
+		if floatAccum(info, s, i, lhs) {
+			out = append(out, effect{
+				pos:  s.Pos(),
+				what: "accumulates floating-point " + base.Name + " in map order (FP addition is not associative)",
+			})
+		}
+	}
+	return out
+}
+
+// floatAccum reports whether lhs (the i'th target of s) is a
+// floating-point accumulation: `x += e`, `x -= e`, `x *= e`, `x /= e`
+// or `x = x + e` with x of float or complex type.
+func floatAccum(info *types.Info, s *ast.AssignStmt, i int, lhs ast.Expr) bool {
+	t := info.TypeOf(lhs)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsFloat|types.IsComplex) == 0 {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		if i >= len(s.Rhs) {
+			return false
+		}
+		return selfReferential(lhs, s.Rhs[i])
+	}
+	return false
+}
+
+// selfReferential reports whether rhs is a binary expression chain
+// mentioning lhs textually (x = x + e, x = e + x, x = x*e + f, ...).
+func selfReferential(lhs, rhs ast.Expr) bool {
+	want := types.ExprString(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	if _, ok := ast.Unparen(rhs).(*ast.BinaryExpr); !ok {
+		return false
+	}
+	return found
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := analysis.ObjectOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outputCall reports whether the call writes to an output sink whose
+// state outlives the loop: fmt Print/Fprint functions, or methods
+// named Write*/Print*/Fprint* on a receiver declared outside the
+// loop. Sprint-style pure formatters are not sinks.
+func outputCall(info *types.Info, rs *ast.RangeStmt, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if hasAnyPrefix(name, "Print", "Fprint") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !hasAnyPrefix(name, "Write", "Print", "Fprint") {
+		return "", false
+	}
+	// Methods on a receiver created inside the loop body reset every
+	// iteration; only outer receivers accumulate order-dependence.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base := analysis.BaseIdent(sel.X); base != nil &&
+			!analysis.DeclaredOutside(info, base, rs.Pos(), rs.End()) {
+			return "", false
+		}
+	}
+	return name, true
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj (a slice the loop appends to) is
+// passed to a sort call in a statement after the range statement in
+// its enclosing block: sort.Strings(keys), sort.Slice(keys, less),
+// slices.Sort(keys), sort.Sort(byName(keys)), and friends.
+func sortedAfter(info *types.Info, rs *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	// Find the block directly containing the range statement.
+	var block *ast.BlockStmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+		// Only transparent wrappers (labels) may sit between the
+		// loop and its block; anything else means the loop is an
+		// arm of some construct and we give up on the idiom.
+		if _, ok := stack[i].(*ast.LabeledStmt); !ok {
+			return false
+		}
+	}
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, st := range block.List {
+		if !after {
+			if containsNode(st, rs) {
+				after = true
+			}
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(info, call) {
+				return true
+			}
+			// The slice may appear directly or wrapped in a
+			// conversion (sort.Sort(byName(keys))).
+			for _, arg := range call.Args {
+				if argMentions(info, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+func argMentions(info *types.Info, arg ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && analysis.ObjectOf(info, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return hasAnyPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

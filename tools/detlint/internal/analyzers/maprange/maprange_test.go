@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"montblanc/tools/detlint/internal/analysistest"
+	"montblanc/tools/detlint/internal/analyzers/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "maprange")
+}

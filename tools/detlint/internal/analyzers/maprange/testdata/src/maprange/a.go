@@ -1,0 +1,83 @@
+// Fixtures for the maprange analyzer: flagged loops carry want
+// comments; the sorted-idiom and order-free loops must stay silent.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func escapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys`
+		keys = append(keys, k)
+	}
+	return keys // never sorted: iteration order escapes
+}
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m { // want `writes output via fmt.Println`
+		fmt.Println(k, v)
+	}
+}
+
+func writesBuilder(m map[string]int, w *strings.Builder) {
+	for k := range m { // want `writes output via WriteString`
+		w.WriteString(k)
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates floating-point sum`
+		sum += v
+	}
+	return sum
+}
+
+func channelSend(m map[string]int) chan string {
+	ch := make(chan string, len(m))
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+	return ch
+}
+
+func sortedKeysIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: sanctioned
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceIdiom(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m { // sorted via sort.Slice below: sanctioned
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func orderFree(m map[string]int) (int, map[string]int) {
+	n := 0
+	out := map[string]int{}
+	for k, v := range m { // int accumulation and map writes: order-free
+		n += v
+		out[k] = 2 * v
+	}
+	return n, out
+}
+
+func freshBufferPerIteration(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k := range m {
+		var b strings.Builder // created inside the loop: resets each pass
+		b.WriteString(k)
+		out[k] = b.String()
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package seededrand forbids math/rand, math/rand/v2 and crypto/rand
+// in simulation code.
+//
+// The paper's methodology randomizes aggressively but replays
+// exactly; the repo encodes that as internal/xrand (xoshiro256**
+// seeded via splitmix64) with the seed threaded from configuration.
+// math/rand's global source is process-seeded, rand/v2 has no stable
+// seeding contract for the package-level functions, and crypto/rand
+// is nondeterministic by design — none may appear where byte-identity
+// is promised.
+package seededrand
+
+import (
+	"strconv"
+
+	"montblanc/tools/detlint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "flag imports of math/rand, math/rand/v2 and crypto/rand in " +
+		"simulation packages; use montblanc/internal/xrand with an explicit seed",
+	Run: run,
+}
+
+var forbidden = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !forbidden[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s is nondeterministic (or unseedable from config); "+
+					"use montblanc/internal/xrand with an explicit seed, "+
+					"or add //detlint:allow seededrand -- <reason>",
+				path)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"montblanc/tools/detlint/internal/analysistest"
+	"montblanc/tools/detlint/internal/analyzers/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "seededrand")
+}

@@ -1,0 +1,13 @@
+// Fixtures for the seededrand analyzer.
+package seededrand
+
+import (
+	crand "crypto/rand" // want `crypto/rand`
+	"math/rand"         // want `math/rand`
+)
+
+func use() int {
+	b := make([]byte, 8)
+	_, _ = crand.Read(b)
+	return rand.Int()
+}

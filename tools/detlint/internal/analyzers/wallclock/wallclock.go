@@ -1,0 +1,65 @@
+// Package wallclock forbids ambient-state reads — wall-clock time,
+// process identity, environment — in deterministic packages.
+//
+// A simulation result must be a pure function of its configuration:
+// the service's content-addressed cache stores results under the
+// SHA-256 of the request, and the golden suites compare bytes across
+// runs. One time.Now in a result path silently poisons both. Timing
+// layers (runner, service, cmd) are exempted by detlint.json; a
+// deterministic package that must measure wall time for telemetry
+// annotates the site with //detlint:allow wallclock -- <reason>.
+package wallclock
+
+import (
+	"go/ast"
+
+	"montblanc/tools/detlint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flag wall-clock and ambient-state reads (time.Now, os.Getenv, ...) " +
+		"in deterministic packages",
+	Run: run,
+}
+
+// forbidden maps package path -> function names whose results depend
+// on ambient process state rather than the call's arguments.
+var forbidden = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Tick": true, "After": true, "AfterFunc": true,
+		"NewTicker": true, "NewTimer": true,
+	},
+	"os": {
+		"Getpid": true, "Getppid": true,
+		"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+		"Hostname": true, "Getwd": true,
+		"Getuid": true, "Geteuid": true, "Getgid": true,
+	},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if names, ok := forbidden[fn.Pkg().Path()]; ok && names[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s reads ambient state in a deterministic package; "+
+						"take it from configuration or the simulation clock, "+
+						"exempt the package in detlint.json, "+
+						"or add //detlint:allow wallclock -- <reason>",
+					fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

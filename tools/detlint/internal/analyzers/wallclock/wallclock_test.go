@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"montblanc/tools/detlint/internal/analysistest"
+	"montblanc/tools/detlint/internal/analyzers/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "wallclock")
+}

@@ -1,0 +1,125 @@
+// Package checker runs the analyzer set over type-checked packages,
+// applies the package policy and //detlint:allow directives, and
+// turns the result into final diagnostics — including diagnostics
+// about the directives themselves (missing reasons, stale
+// suppressions), so the annotation layer cannot rot.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"montblanc/tools/detlint/internal/analysis"
+	"montblanc/tools/detlint/internal/directive"
+	"montblanc/tools/detlint/internal/load"
+	"montblanc/tools/detlint/internal/policy"
+)
+
+// Check runs analyzers over one package under the given policy and
+// returns the surviving diagnostics sorted by position. Analyzers the
+// policy exempts for this package are skipped entirely. Directives
+// are consumed: suppressed findings are dropped, and malformed,
+// unknown-analyzer or stale directives become diagnostics with
+// category "directive".
+func Check(pkg *load.Package, as []*analysis.Analyzer, pol *policy.Policy, known func(string) bool) ([]analysis.Diagnostic, error) {
+	var raw []analysis.Diagnostic
+	for _, a := range as {
+		if !pol.Applies(a.Name, pkg.ImportPath) {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			raw = append(raw, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+
+	// Collect directives across the package's files.
+	var ds []*directive.Directive
+	var out []analysis.Diagnostic
+	for i, f := range pkg.Files {
+		var src []byte
+		if i < len(pkg.Srcs) {
+			src = pkg.Srcs[i]
+		}
+		fds, probs := directive.ParseFile(pkg.Fset, f, src)
+		for _, p := range probs {
+			out = append(out, analysis.Diagnostic{
+				Pos: p.Pos, Category: "directive", Message: p.Message,
+			})
+		}
+		for _, d := range fds {
+			for _, name := range d.Analyzers {
+				if known != nil && !known(name) {
+					out = append(out, analysis.Diagnostic{
+						Pos:      d.Pos,
+						Category: "directive",
+						Message:  fmt.Sprintf("detlint:allow names unknown analyzer %q", name),
+					})
+					d.Used[name] = true // don't also report it as stale
+				}
+			}
+			ds = append(ds, d)
+		}
+	}
+
+	// Apply suppressions.
+	for _, diag := range raw {
+		pos := pkg.Fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range ds {
+			if d.File == pos.Filename && d.Covers(diag.Category, pos.Line) {
+				d.Used[diag.Category] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+
+	// A directive (or one analyzer named by it) that suppressed
+	// nothing is stale: the code it excused is gone, so the
+	// annotation must go too.
+	for _, d := range ds {
+		for _, name := range d.Analyzers {
+			if !d.Used[name] {
+				out = append(out, analysis.Diagnostic{
+					Pos:      d.Pos,
+					Category: "directive",
+					Message: fmt.Sprintf(
+						"stale detlint:allow: no live %s finding on this or the next line; delete the directive",
+						name),
+				})
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out, nil
+}
+
+// Format renders one diagnostic in the conventional
+// file:line:col: analyzer: message shape.
+func Format(fset *token.FileSet, d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Category, d.Message)
+}

@@ -1,0 +1,154 @@
+package checker
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"montblanc/tools/detlint/internal/analyzers"
+	"montblanc/tools/detlint/internal/load"
+	"montblanc/tools/detlint/internal/policy"
+)
+
+// run type-checks one import-free source file and returns the
+// formatted diagnostics from the full analyzer set under pol.
+func run(t *testing.T, importPath, src string, pol *policy.Policy) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := load.Check(importPath, "", fset, []*ast.File{f}, [][]byte{[]byte(src)}, nil)
+	if pkg.TypeError != nil {
+		t.Fatalf("typecheck: %v", pkg.TypeError)
+	}
+	diags, err := Check(pkg, analyzers.All(), pol, analyzers.Known)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = Format(fset, d)
+	}
+	return out
+}
+
+func anyContains(ss []string, sub string) bool {
+	for _, s := range ss {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSuppressionStaleAndUnknown(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) []string {
+	var keys []string
+	//detlint:allow maprange -- keys feed an order-insensitive membership set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var leaked []string
+	for k := range m {
+		leaked = append(leaked, k)
+	}
+	_ = leaked
+	return keys
+}
+
+//detlint:allow wallclock -- nothing here reads the clock anymore
+func g() {}
+
+func h() {} //detlint:allow bogus -- no such analyzer
+`
+	diags := run(t, "p", src, policy.Default())
+
+	expect := []string{
+		"maprange: range over map m",             // the unsuppressed loop
+		"stale detlint:allow: no live wallclock", // directive outlived its finding
+		`unknown analyzer "bogus"`,               // typo'd analyzer name
+	}
+	for _, want := range expect {
+		if !anyContains(diags, want) {
+			t.Errorf("missing diagnostic containing %q in:\n%s", want, strings.Join(diags, "\n"))
+		}
+	}
+	if got := len(diags); got != len(expect) {
+		t.Errorf("got %d diagnostics, want %d:\n%s", got, len(expect), strings.Join(diags, "\n"))
+	}
+}
+
+func TestMissingReasonIsDiagnosed(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) []string {
+	var keys []string
+	//detlint:allow maprange
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`
+	diags := run(t, "p", src, policy.Default())
+	// The malformed directive is reported AND does not suppress.
+	if !anyContains(diags, "missing a '-- reason'") {
+		t.Errorf("malformed directive not reported:\n%s", strings.Join(diags, "\n"))
+	}
+	if !anyContains(diags, "maprange: range over map") {
+		t.Errorf("reason-less directive still suppressed the finding:\n%s", strings.Join(diags, "\n"))
+	}
+}
+
+func TestPolicyExemptsAnalyzerPerPackage(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`
+	pol := &policy.Policy{Exempt: map[string][]string{"maprange": {"m/exempted"}}}
+	if diags := run(t, "m/exempted", src, pol); len(diags) != 0 {
+		t.Errorf("exempted package still flagged: %v", diags)
+	}
+	if diags := run(t, "m/covered", src, pol); len(diags) != 1 {
+		t.Errorf("covered package not flagged exactly once: %v", diags)
+	}
+}
+
+func TestMultiAnalyzerDirective(t *testing.T) {
+	src := `package p
+
+func f(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { //detlint:allow maprange,floatorder -- commutative within test tolerance
+		sum += v
+	}
+	return sum
+}
+`
+	// maprange reports at the for line; floatorder at the += line.
+	// The trailing directive covers its own line only, so floatorder
+	// must survive (and the directive's floatorder entry goes stale)
+	// — proving per-line, per-analyzer precision.
+	diags := run(t, "p", src, policy.Default())
+	if !anyContains(diags, "floatorder: floating-point accumulation") {
+		t.Errorf("floatorder on the next line was wrongly suppressed:\n%s", strings.Join(diags, "\n"))
+	}
+	if !anyContains(diags, "stale detlint:allow: no live floatorder") {
+		t.Errorf("unused floatorder entry not reported stale:\n%s", strings.Join(diags, "\n"))
+	}
+	if anyContains(diags, "maprange: range over map") {
+		t.Errorf("maprange on the directive line was not suppressed:\n%s", strings.Join(diags, "\n"))
+	}
+}

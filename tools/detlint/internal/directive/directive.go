@@ -1,0 +1,135 @@
+// Package directive parses //detlint:allow suppression comments.
+//
+// Syntax:
+//
+//	//detlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory: a suppression without a recorded
+// justification is itself a diagnostic. A directive written on its own
+// line covers the next source line; a trailing directive covers its
+// own line. The checker additionally reports directives that suppress
+// nothing (stale) so annotations cannot outlive the code they excuse.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment marker, with no space after // — the same
+// convention as //go:build and //nolint.
+const Prefix = "//detlint:allow"
+
+// Directive is one parsed, well-formed //detlint:allow comment.
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Line      int      // line the comment itself is on
+	OwnLine   bool     // comment stands alone, so it covers Line+1
+	Analyzers []string // analyzer names it suppresses
+	Reason    string
+
+	// Used tracks, per analyzer name, whether the directive
+	// suppressed at least one live diagnostic. The checker fills it
+	// in and reports stale entries.
+	Used map[string]bool
+}
+
+// Covers reports whether the directive applies to a diagnostic from
+// the named analyzer at the given line.
+func (d *Directive) Covers(analyzer string, line int) bool {
+	if line != d.Line && !(d.OwnLine && line == d.Line+1) {
+		return false
+	}
+	for _, a := range d.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Problem is a malformed directive: syntactically //detlint:allow but
+// missing its analyzer list or reason. These are hard diagnostics —
+// a typo in a suppression must not silently suppress nothing.
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// ParseFile extracts every detlint directive from a parsed file. src
+// is the file's source bytes, used to decide whether a comment stands
+// alone on its line (and therefore covers the following line).
+func ParseFile(fset *token.FileSet, f *ast.File, src []byte) ([]*Directive, []Problem) {
+	var ds []*Directive
+	var ps []Problem
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, Prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, Prefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// e.g. //detlint:allowmaprange — not ours.
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d, msg := parse(rest)
+			if msg != "" {
+				ps = append(ps, Problem{Pos: c.Pos(), Message: msg})
+				continue
+			}
+			d.Pos = c.Pos()
+			d.File = pos.Filename
+			d.Line = pos.Line
+			d.OwnLine = ownLine(fset, c, src)
+			ds = append(ds, d)
+		}
+	}
+	return ds, ps
+}
+
+// parse splits " maprange,floatorder -- reason text" into its parts.
+func parse(rest string) (*Directive, string) {
+	names, reason, ok := strings.Cut(rest, "--")
+	if !ok {
+		return nil, "detlint:allow directive is missing a '-- reason' justification"
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return nil, "detlint:allow directive has an empty reason after '--'"
+	}
+	var as []string
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			as = append(as, n)
+		}
+	}
+	if len(as) == 0 {
+		return nil, "detlint:allow directive names no analyzers"
+	}
+	used := make(map[string]bool, len(as))
+	for _, a := range as {
+		used[a] = false
+	}
+	return &Directive{Analyzers: as, Reason: reason, Used: used}, ""
+}
+
+// ownLine reports whether only whitespace precedes the comment on its
+// line.
+func ownLine(fset *token.FileSet, c *ast.Comment, src []byte) bool {
+	if src == nil {
+		return false
+	}
+	tf := fset.File(c.Pos())
+	if tf == nil {
+		return false
+	}
+	start := tf.Offset(tf.LineStart(fset.Position(c.Pos()).Line))
+	end := tf.Offset(c.Pos())
+	if start < 0 || end > len(src) || start > end {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:end])) == ""
+}

@@ -1,0 +1,90 @@
+package directive
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) ([]*Directive, []Problem) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return ParseFile(fset, f, []byte(src))
+}
+
+func TestTrailingDirective(t *testing.T) {
+	ds, ps := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //detlint:allow wallclock -- timing telemetry only
+}
+`)
+	if len(ps) != 0 {
+		t.Fatalf("problems: %v", ps)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("got %d directives, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.Line != 4 || d.OwnLine {
+		t.Errorf("got line %d ownLine %v, want trailing on line 4", d.Line, d.OwnLine)
+	}
+	if d.Reason != "timing telemetry only" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if !d.Covers("wallclock", 4) || d.Covers("wallclock", 5) || d.Covers("maprange", 4) {
+		t.Errorf("coverage wrong: %+v", d)
+	}
+}
+
+func TestOwnLineCoversNextLine(t *testing.T) {
+	ds, _ := parseSrc(t, `package p
+
+func f() {
+	//detlint:allow maprange,floatorder -- grouped reduction proven order-free
+	_ = 1
+}
+`)
+	if len(ds) != 1 {
+		t.Fatalf("got %d directives, want 1", len(ds))
+	}
+	d := ds[0]
+	if !d.OwnLine {
+		t.Fatalf("directive not detected as own-line")
+	}
+	if !d.Covers("maprange", 5) || !d.Covers("floatorder", 4) || d.Covers("maprange", 6) {
+		t.Errorf("coverage wrong: %+v", d)
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct{ name, comment string }{
+		{"missing reason separator", "//detlint:allow maprange"},
+		{"empty reason", "//detlint:allow maprange -- "},
+		{"no analyzers", "//detlint:allow -- because"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds, ps := parseSrc(t, "package p\n\n"+c.comment+"\nfunc f() {}\n")
+			if len(ds) != 0 || len(ps) != 1 {
+				t.Fatalf("got %d directives, %d problems; want 0 and 1", len(ds), len(ps))
+			}
+		})
+	}
+}
+
+func TestUnrelatedCommentsIgnored(t *testing.T) {
+	ds, ps := parseSrc(t, `package p
+
+// detlint:allow maprange -- space after // means not a directive
+//detlint:allowmaprange -- no separator either
+func f() {}
+`)
+	if len(ds) != 0 || len(ps) != 0 {
+		t.Fatalf("got %d directives, %d problems; want none", len(ds), len(ps))
+	}
+}

@@ -1,0 +1,191 @@
+// Package load type-checks packages without golang.org/x/tools.
+//
+// The trick that keeps detlint dependency-free: `go list -export`
+// makes the go command compile export data for any package set into
+// the build cache and report the file paths, and the standard
+// library's gc importer (go/importer.ForCompiler with a lookup
+// function) reads those files. Only the packages under analysis are
+// parsed from source; every import — stdlib or in-module — resolves
+// through export data, so loading the whole repository is one
+// subprocess plus one parse+typecheck per target package.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ListedPackage is the subset of `go list -json` detlint needs.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Package is a parsed, type-checked target package ready for
+// analysis. Srcs holds each file's source bytes (parallel to Files)
+// for directive own-line detection.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Srcs       [][]byte
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeError  error // non-nil if type checking failed
+}
+
+// List runs `go list -export -deps -json` for patterns in dir and
+// returns every listed package.
+func List(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Export,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Exports collects the import-path -> export-data-file map from a
+// listing.
+func Exports(pkgs []*ListedPackage) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// NewImporter returns a types.Importer that resolves through export
+// data files. importMap translates source-level import strings
+// (vendor, test variants) to canonical package paths before the
+// export lookup; it may be nil.
+func NewImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// ParseFiles parses the named files (absolute or relative to dir),
+// keeping comments and source bytes. Files named *_test.go are
+// skipped: the determinism contract governs shipped code, and tests
+// legitimately read the wall clock for timeouts.
+func ParseFiles(fset *token.FileSet, dir string, names []string) (files []*ast.File, srcs [][]byte, err error) {
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		srcs = append(srcs, src)
+	}
+	return files, srcs, nil
+}
+
+// Check type-checks parsed files into a Package. A type error is
+// recorded, not fatal: the caller decides whether to analyze anyway.
+func Check(importPath, dir string, fset *token.FileSet, files []*ast.File, srcs [][]byte, imp types.Importer) *Package {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect only the first, via Check's return
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Srcs:       srcs,
+		Pkg:        pkg,
+		Info:       info,
+		TypeError:  err,
+	}
+}
+
+// Targets loads every non-dependency package matched by patterns in
+// dir, type-checked and ready for analysis.
+func Targets(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := Exports(listed)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil && len(lp.GoFiles) == 0 {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		fset := token.NewFileSet()
+		files, srcs, err := ParseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		imp := NewImporter(fset, exports, lp.ImportMap)
+		out = append(out, Check(lp.ImportPath, lp.Dir, fset, files, srcs, imp))
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+// Package policy decides which analyzers apply to which packages.
+//
+// The policy lives in detlint.json at the module root. Every package
+// is covered by every analyzer by default — new packages opt in simply
+// by existing — and the file lists per-analyzer exemptions for the
+// layers whose job is the thing the analyzer forbids (the timing
+// layers may read the wall clock; nothing may range over a map into
+// output). Patterns are import paths, with a trailing "/..." matching
+// the subtree.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Policy is the decoded detlint.json.
+type Policy struct {
+	// Exempt maps analyzer name -> package patterns it does not
+	// apply to. A pattern is an import path, or a prefix ending in
+	// "/..." covering the whole subtree.
+	Exempt map[string][]string `json:"exempt"`
+}
+
+// Default is the policy used when no detlint.json exists: everything
+// applies everywhere.
+func Default() *Policy { return &Policy{} }
+
+// Load reads a policy file.
+func Load(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Policy
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("policy: parsing %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// Find walks up from dir looking for detlint.json next to go.mod (the
+// module root). It returns Default() if neither is found before the
+// filesystem root.
+func Find(dir string) (*Policy, string, error) {
+	for {
+		cand := filepath.Join(dir, "detlint.json")
+		if _, err := os.Stat(cand); err == nil {
+			p, err := Load(cand)
+			return p, cand, err
+		}
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return Default(), "", nil // module root without a policy
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return Default(), "", nil
+		}
+		dir = parent
+	}
+}
+
+// Applies reports whether the named analyzer should run on the
+// package with the given import path.
+func (p *Policy) Applies(analyzer, pkgPath string) bool {
+	for _, pat := range p.Exempt[analyzer] {
+		if match(pat, pkgPath) {
+			return false
+		}
+	}
+	return true
+}
+
+// match implements exact and "/..." prefix patterns. The bare pattern
+// "..." matches everything.
+func match(pat, path string) bool {
+	if pat == "..." {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return pat == path
+}

@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestApplies(t *testing.T) {
+	p := &Policy{Exempt: map[string][]string{
+		"wallclock": {
+			"montblanc/internal/runner",
+			"montblanc/cmd/...",
+		},
+	}}
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"wallclock", "montblanc/internal/runner", false},
+		{"wallclock", "montblanc/internal/runnerx", true}, // not a prefix match
+		{"wallclock", "montblanc/cmd/montblanc", false},
+		{"wallclock", "montblanc/cmd", false}, // "/..." includes the root
+		{"wallclock", "montblanc/internal/simmpi", true},
+		{"maprange", "montblanc/internal/runner", true}, // exemption is per-analyzer
+	}
+	for _, c := range cases {
+		if got := p.Applies(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestFindWalksToModuleRoot(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "detlint.json"),
+		[]byte(`{"exempt":{"wallclock":["m/x"]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, path, err := Find(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" || p.Applies("wallclock", "m/x") {
+		t.Errorf("policy not found or not applied: path=%q", path)
+	}
+}
+
+func TestFindDefaultsWithoutPolicy(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, path, err := Find(root)
+	if err != nil || path != "" {
+		t.Fatalf("err=%v path=%q", err, path)
+	}
+	if !p.Applies("wallclock", "m/anything") {
+		t.Error("default policy must apply everywhere")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "detlint.json")
+	if err := os.WriteFile(path, []byte(`{"exmept":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("typo'd policy field was accepted silently")
+	}
+}

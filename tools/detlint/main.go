@@ -1,0 +1,134 @@
+// Command detlint is the repository's determinism linter: a
+// multichecker enforcing the byte-identity contract at compile time
+// (see DETLINT.md). It runs four analyzers — maprange, wallclock,
+// seededrand, floatorder — over the tree, honoring the detlint.json
+// package policy and //detlint:allow source directives.
+//
+// Two drivers share the analyzer set:
+//
+//	detlint ./...                     # standalone, like staticcheck
+//	go vet -vettool=$(which detlint)  # the cmd/go vet protocol
+//
+// The vet protocol (three handshakes: -V=full for the tool's cache
+// ID, -flags for its flag schema, then one invocation per package
+// with a vet.cfg JSON file) lets `go vet` drive detlint with its
+// build-cache-aware incremental scheduling — CI lints only what
+// changed.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"montblanc/tools/detlint/internal/analyzers"
+	"montblanc/tools/detlint/internal/checker"
+	"montblanc/tools/detlint/internal/load"
+	"montblanc/tools/detlint/internal/policy"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go handshake 1: tool identity for the vet result cache.
+	// The required shape is `<name> version devel buildID=<id>`; we
+	// hash our own binary so a rebuilt detlint invalidates cached
+	// vet results.
+	for _, a := range args {
+		if a == "-V=full" {
+			fmt.Printf("detlint version devel buildID=%s\n", selfID())
+			return
+		}
+	}
+	// cmd/go handshake 2: the analyzer flag schema (we expose none).
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// cmd/go handshake 3: one package's vet.cfg.
+	if len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(unitcheck(args[len(args)-1]))
+	}
+
+	os.Exit(standalone(args))
+}
+
+// standalone loads packages by pattern (default ./...) and checks
+// them all in one process. Exit codes follow the x/tools convention:
+// 0 clean, 1 operational error, 2 diagnostics reported.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("detlint", flag.ExitOnError)
+	configPath := fs.String("config", "", "path to detlint.json (default: found at module root)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detlint [-config detlint.json] [package patterns]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var pol *policy.Policy
+	var err error
+	if *configPath != "" {
+		pol, err = policy.Load(*configPath)
+	} else {
+		wd, werr := os.Getwd()
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", werr)
+			return 1
+		}
+		pol, _, err = policy.Find(wd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+
+	pkgs, err := load.Targets(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if pkg.TypeError != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %s: %v\n", pkg.ImportPath, pkg.TypeError)
+			exit = 1
+			continue
+		}
+		diags, err := checker.Check(pkg, analyzers.All(), pol, analyzers.Known)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, checker.Format(pkg.Fset, d))
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+// selfID hashes the running binary for the vet tool ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"montblanc/tools/detlint/internal/analyzers"
+	"montblanc/tools/detlint/internal/checker"
+	"montblanc/tools/detlint/internal/load"
+	"montblanc/tools/detlint/internal/policy"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to vet.cfg (see
+// cmd/go/internal/work.vetConfig). Fields detlint does not consume
+// are listed anyway so the schema is documented in one place.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by a cmd/go
+// vet.cfg and returns the process exit code (0 clean, 2 findings).
+//
+// detlint computes no cross-package facts, so dependency-only
+// invocations (VetxOnly) are a no-op: we deliberately skip writing
+// VetxOutput — cmd/go treats a missing vetx file as "no export data"
+// and carries on.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test variants arrive as the base files plus *_test.go; the
+	// contract covers shipped code only, and ParseFiles drops test
+	// files. An external test package (pkg_test) has nothing left.
+	hasCode := false
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			hasCode = true
+			break
+		}
+	}
+	if !hasCode {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, srcs, err := load.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	imp := load.NewImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	// The analyzed import path may be a test variant like
+	// "pkg [pkg.test]"; policy matching wants the real path.
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	pkg := load.Check(importPath, cfg.Dir, fset, files, srcs, imp)
+	if pkg.TypeError != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "detlint: %s: %v\n", importPath, pkg.TypeError)
+		return 1
+	}
+
+	pol, _, err := policy.Find(cfg.Dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	diags, err := checker.Check(pkg, analyzers.All(), pol, analyzers.Known)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, checker.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
