@@ -22,6 +22,7 @@ import (
 	"montblanc/internal/core"
 	"montblanc/internal/cpu"
 	"montblanc/internal/experiments"
+	"montblanc/internal/fault"
 	"montblanc/internal/magicfilter"
 	"montblanc/internal/mem"
 	"montblanc/internal/membench"
@@ -824,4 +825,47 @@ func BenchmarkStatsTwoModes(b *testing.B) {
 		ratio = stats.TwoModes(xs).Ratio
 	}
 	b.ReportMetric(ratio, "mode-ratio")
+}
+
+// --- Resilience (fault injection + checkpoint/restart) ------------------------
+
+// BenchmarkResilienceSweep measures the fault-injected checkpointing
+// mini-app across every registered platform: node crashes, restart
+// reads and checkpoint I/O all inside the deterministic simulator.
+// Custom metrics carry the aggregate interrupting crashes and frozen
+// rank-time, so regressions in fault handling show up next to the
+// timing.
+func BenchmarkResilienceSweep(b *testing.B) {
+	ps, err := lookupAllPlatforms()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &fault.Spec{Seed: 11, MTBFSeconds: 40, HorizonSeconds: 500, DowntimeSeconds: 2}
+	resolved, err := spec.Resolve(4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.ResilienceConfig{
+		Nodes:           4,
+		WorkFlops:       4e9,
+		CheckpointBytes: 32 << 20,
+		IntervalSeconds: 1,
+		Faults:          resolved,
+	}
+	b.ResetTimer()
+	var crashes uint64
+	var down float64
+	for i := 0; i < b.N; i++ {
+		rs, err := core.RunResilienceSweep(ps, cfg, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		crashes, down = 0, 0
+		for _, r := range rs {
+			crashes += r.Crashes
+			down += r.DownSeconds
+		}
+	}
+	b.ReportMetric(float64(crashes), "crashes")
+	b.ReportMetric(down, "down-seconds")
 }

@@ -23,6 +23,10 @@
 //	montblanc -quick energy-phases                    # joules by execution state
 //	montblanc -quick scale-membench                   # batched engine at 100s-of-MB scale
 //
+//	montblanc -quick 'resilience*'                    # failures x checkpoint intervals
+//	montblanc -fault-mtbf 300 -quick resilience-sweep # custom failure rate
+//	montblanc -fault-file sched.json resilience-daly  # explicit schedule (FAULT.md)
+//
 //	montblanc -cpuprofile cpu.pb.gz locality          # pprof CPU profile of any experiment
 //	montblanc -memprofile mem.pb.gz -quick all        # pprof allocation profile
 //
@@ -71,6 +75,7 @@ import (
 	"time"
 
 	"montblanc/internal/experiments"
+	"montblanc/internal/fault"
 	"montblanc/internal/platform"
 	"montblanc/internal/report"
 	"montblanc/internal/runner"
@@ -121,6 +126,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	platFile := fs.String("platform-file", "", "JSON platform spec file to register before running (one spec or an array)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile of the run to this file")
+	faultFile := fs.String("fault-file", "", "JSON fault schedule for the resilience* experiments (see FAULT.md)")
+	faultMTBF := fs.Float64("fault-mtbf", 0, "per-node mean time between failures in seconds for generated crashes (resilience* experiments)")
+	faultDowntime := fs.Float64("fault-downtime", 0, "crash-to-restart downtime in seconds (0 = schedule default)")
+	faultHorizon := fs.Float64("fault-horizon", 0, "bound on generated crash times in seconds (0 = the experiment's own estimate)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the generated crash draws")
+	checkpointInterval := fs.Float64("checkpoint-interval", 0, "pin the resilience checkpoint interval in seconds (must be > 0 when set)")
 	fs.Usage = func() { usage(stderr, fs) }
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -212,6 +223,56 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed, SimWorkers: *simWorkers}
+	// Fault flags assemble one schedule for the resilience experiments:
+	// -fault-file loads a JSON spec, the scalar flags fill or override
+	// its fields, and fault.Spec.Validate is the single authority that
+	// refuses hostile numbers (NaN rates, negative MTBFs, non-positive
+	// checkpoint intervals) before anything runs.
+	faultSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fault-file", "fault-mtbf", "fault-downtime", "fault-horizon", "fault-seed", "checkpoint-interval":
+			faultSet[f.Name] = true
+		}
+	})
+	if len(faultSet) > 0 {
+		spec := &fault.Spec{}
+		if faultSet["fault-file"] {
+			loaded, err := fault.LoadSpecFile(*faultFile)
+			if err != nil {
+				fmt.Fprintln(stderr, "montblanc:", err)
+				return 2
+			}
+			spec = loaded
+		}
+		if faultSet["fault-mtbf"] {
+			spec.MTBFSeconds = *faultMTBF
+		}
+		if faultSet["fault-downtime"] {
+			spec.DowntimeSeconds = *faultDowntime
+		}
+		if faultSet["fault-horizon"] {
+			spec.HorizonSeconds = *faultHorizon
+		}
+		if faultSet["fault-seed"] {
+			spec.Seed = *faultSeed
+		}
+		if faultSet["checkpoint-interval"] {
+			// Zero elsewhere means "unset"; an explicit zero here is a
+			// request for a nonsensical policy and must fail, not
+			// silently fall back to the default grid.
+			if !(*checkpointInterval > 0) {
+				fmt.Fprintf(stderr, "montblanc: -checkpoint-interval must be > 0 seconds, got %v\n", *checkpointInterval)
+				return 2
+			}
+			spec.CheckpointIntervalSeconds = *checkpointInterval
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(stderr, "montblanc:", err)
+			return 2
+		}
+		opts.Fault = spec
+	}
 	if *platNames != "" {
 		for _, name := range strings.Split(*platNames, ",") {
 			name = strings.TrimSpace(name)
@@ -494,6 +555,12 @@ run (selection, simulation, rendering) for use with 'go tool pprof'.
 -sim-workers > 1 runs each cluster simulation on the conservative-
 parallel DES scheduler with that many shards; output stays
 byte-identical to the sequential reference at any value.
+
+The -fault-* flags and -checkpoint-interval inject a deterministic
+fault schedule (node crashes, link degradations; see FAULT.md) into the
+resilience* experiments: -fault-file loads a JSON schedule, the scalar
+flags fill or override its fields. Fault-injected runs too are
+byte-identical at any -sim-workers value.
 
 'montblanc serve' runs the experiments as a long-lived HTTP/JSON
 service with a content-addressed result cache (SERVICE.md documents

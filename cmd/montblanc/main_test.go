@@ -503,3 +503,100 @@ func TestTimingIncludesEngineStats(t *testing.T) {
 		t.Error("engine summary leaked onto stdout")
 	}
 }
+
+// --- fault flag validation ------------------------------------------
+
+// The -fault-* flags and -checkpoint-interval assemble a fault.Spec
+// and validate it before anything runs: hostile numbers (NaN, negative
+// rates, non-positive intervals) are usage errors naming the field.
+func TestFaultFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"checkpoint-interval-zero",
+			[]string{"-checkpoint-interval", "0", "-quick", "resilience-sweep"},
+			2, "-checkpoint-interval must be > 0"},
+		{"checkpoint-interval-negative",
+			[]string{"-checkpoint-interval", "-4", "-quick", "resilience-sweep"},
+			2, "-checkpoint-interval must be > 0"},
+		{"checkpoint-interval-nan",
+			[]string{"-checkpoint-interval", "NaN", "-quick", "resilience-sweep"},
+			2, "-checkpoint-interval must be > 0"},
+		{"mtbf-negative",
+			[]string{"-fault-mtbf", "-10", "-quick", "resilience-sweep"},
+			2, "mtbf_seconds"},
+		{"mtbf-nan",
+			[]string{"-fault-mtbf", "NaN", "-quick", "resilience-sweep"},
+			2, "mtbf_seconds"},
+		{"downtime-negative",
+			[]string{"-fault-downtime", "-1", "-quick", "resilience-sweep"},
+			2, "downtime_seconds"},
+		{"horizon-infinite",
+			[]string{"-fault-horizon", "Inf", "-quick", "resilience-sweep"},
+			2, "horizon_seconds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runCLI(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, tc.wantCode, errOut)
+			}
+			if out != "" {
+				t.Errorf("rejected flags still produced output: %q", out)
+			}
+			if !strings.Contains(errOut, tc.wantErr) {
+				t.Errorf("stderr %q lacks %q", errOut, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A schedule assembled from flags replaces the sweep's built-in fault
+// grid: the matrix rows carry the user schedule at the pinned
+// checkpoint interval, and the default grid's rows are gone.
+func TestFaultFlagsReachResilience(t *testing.T) {
+	code, out, errOut := runCLI(t, "-quick", "-fault-mtbf", "40", "-fault-downtime", "2",
+		"-fault-seed", "9", "-checkpoint-interval", "1.5", "resilience-sweep")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "user schedule tau=1.5s") {
+		t.Errorf("output lacks the user schedule row:\n%s", out)
+	}
+	if strings.Contains(out, "failure-free") {
+		t.Error("user schedule did not replace the built-in grid")
+	}
+}
+
+// -fault-file loads a JSON schedule; its name labels the sweep rows,
+// and broken or missing files are usage errors.
+func TestFaultFileLoadsSchedule(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.json")
+	sched := `{"name":"maintenance","events":[{"node":0,"time":1,"downtime":0.5}],"checkpoint_interval_seconds":2}`
+	if err := os.WriteFile(path, []byte(sched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-quick", "-fault-file", path, "resilience-sweep")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "maintenance tau=2s") {
+		t.Errorf("sweep rows do not carry the file schedule's name:\n%s", out)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCLI(t, "-fault-file", bad, "resilience-sweep"); code != 2 ||
+		!strings.Contains(errOut, "fault") {
+		t.Errorf("broken schedule file: exit %d stderr %q, want 2 + fault error", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "-fault-file", filepath.Join(dir, "absent.json"), "resilience-sweep"); code != 2 {
+		t.Errorf("missing schedule file: exit %d, want 2", code)
+	}
+}

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 
+	"montblanc/internal/fault"
 	"montblanc/internal/network"
 	"montblanc/internal/platform"
 	"montblanc/internal/simmpi"
@@ -76,6 +77,10 @@ type JobConfig struct {
 	// scheduler with that many shards (see simmpi.Config.Workers).
 	// Either way the results are byte-identical.
 	SimWorkers int
+	// Faults is an optional resolved fault schedule: its node outages
+	// feed the simulator and its link faults are applied to the fabric
+	// after the pre-run reset. Nil means a failure-free run.
+	Faults *fault.Resolved
 }
 
 // Validate checks the job against the cluster.
@@ -125,6 +130,12 @@ func (c *Cluster) Run(job JobConfig, body func(*simmpi.Proc) error) (*simmpi.Rep
 		CollectTrace:    job.CollectTrace,
 		TraceHint:       job.TraceHint,
 		Workers:         job.SimWorkers,
+	}
+	if job.Faults != nil {
+		if err := job.Faults.Apply(c.Net); err != nil {
+			return nil, err
+		}
+		cfg.Outages = job.Faults.Outages
 	}
 	return simmpi.Run(cfg, body)
 }

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"montblanc/internal/fault"
+	"montblanc/internal/simmpi"
+)
+
+// ringJob is a minimal coupled job: compute then circulate a token.
+func ringJob(p *simmpi.Proc) error {
+	right := (p.Rank() + 1) % p.Size()
+	left := (p.Rank() + p.Size() - 1) % p.Size()
+	for it := 0; it < 4; it++ {
+		p.Compute(1.0, "work")
+		if err := p.Send(right, it, 64<<10); err != nil {
+			return err
+		}
+		if err := p.Recv(left, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestRunAppliesFaultSchedule(t *testing.T) {
+	c, err := Tibidabo(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := JobConfig{Ranks: 8, CoreFlopsPerSec: 1e9, CollectTrace: true}
+	clean, err := c.Run(job, ringJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faults.Interrupts != 0 {
+		t.Fatalf("failure-free run saw %d interrupts", clean.Faults.Interrupts)
+	}
+
+	spec := &fault.Spec{
+		DowntimeSeconds: 3,
+		Events:          []fault.Event{{Node: 1, Time: 1.5}},
+		Links: []fault.LinkFault{
+			{Link: "node0->sw", Start: 0, End: 100, BandwidthFactor: 10},
+		},
+	}
+	r, err := spec.Resolve(c.Nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Faults = r
+	faulty, err := c.Run(job, ringJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 hosts ranks 2 and 3 (two cores per node): both freeze.
+	if faulty.Faults.Interrupts != 2 {
+		t.Fatalf("interrupts = %d, want 2 (both ranks on node 1)", faulty.Faults.Interrupts)
+	}
+	if faulty.Faults.DownSeconds <= 0 {
+		t.Fatal("no frozen time recorded")
+	}
+	if faulty.Seconds <= clean.Seconds {
+		t.Fatalf("faulty run %v not slower than clean %v", faulty.Seconds, clean.Seconds)
+	}
+	if got := c.Net.DegradedTransfers(); got == 0 {
+		t.Fatal("link fault never hit a transfer")
+	}
+
+	// A later failure-free run on the same cluster must match the first
+	// clean run: Reset clears the degradations along with everything
+	// else.
+	job.Faults = nil
+	again, err := c.Run(job, ringJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Seconds != clean.Seconds {
+		t.Fatalf("post-fault clean run %v != original %v (fault state leaked)",
+			again.Seconds, clean.Seconds)
+	}
+}
+
+func TestRunRejectsUnknownFaultLink(t *testing.T) {
+	c, err := Tibidabo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &fault.Spec{Links: []fault.LinkFault{{Link: "bogus", Start: 0, End: 1}}}
+	r, err := spec.Resolve(c.Nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := JobConfig{Ranks: 2, CoreFlopsPerSec: 1e9, Faults: r}
+	if _, err := c.Run(job, ringJob); err == nil {
+		t.Fatal("unknown link name accepted")
+	}
+}

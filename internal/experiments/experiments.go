@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"montblanc/internal/fault"
 	"montblanc/internal/platform"
 	"montblanc/internal/runner"
 )
@@ -42,6 +43,11 @@ type Options struct {
 	// (CanonicalJSON): the same canonical request may execute on either
 	// scheduler and replay the same bytes.
 	SimWorkers int
+	// Fault replaces the resilience experiments' built-in fault grid
+	// with one user-supplied schedule (see internal/fault.Spec); nil
+	// keeps the defaults. Unlike SimWorkers it changes experiment
+	// output, so it IS part of the cache key (CanonicalJSON).
+	Fault *fault.Spec
 }
 
 // Resolver returns the platform resolver for these options: the global

@@ -11,7 +11,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"energy-phases", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4",
 		"fig5", "fig6", "fig7", "locality", "pagealloc",
-		"perspectives", "scale-membench", "scale-ranks", "sweep-energy",
+		"perspectives", "resilience-daly", "resilience-sweep",
+		"scale-membench", "scale-ranks", "sweep-energy",
 		"sweep-matrix", "sweep-specs", "table1", "table2",
 	}
 	all := All()

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"montblanc/internal/fault"
 	"montblanc/internal/platform"
 )
 
@@ -22,6 +23,11 @@ type canonicalRequest struct {
 	Quick      bool            `json:"quick"`
 	Seed       uint64          `json:"seed"`
 	Platforms  []platform.Spec `json:"platforms"`
+	// Fault is the user fault schedule, or null for the defaults. It is
+	// deliberately key material — fault-injected results must never
+	// replay from a failure-free run's cache entry (contrast
+	// Options.SimWorkers, which cannot change output and is absent).
+	Fault *fault.Spec `json:"fault"`
 }
 
 // CanonicalJSON renders the request (id, o) in canonical wire form:
@@ -35,6 +41,11 @@ type canonicalRequest struct {
 // sets may render identically for an experiment that ignores them;
 // that costs a duplicate cache entry, never a wrong answer.)
 func CanonicalJSON(id string, o Options) ([]byte, error) {
+	if o.Fault != nil {
+		if err := o.Fault.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	r, err := o.Resolver()
 	if err != nil {
 		return nil, err
@@ -56,6 +67,7 @@ func CanonicalJSON(id string, o Options) ([]byte, error) {
 		Quick:      o.Quick,
 		Seed:       o.Seed,
 		Platforms:  specs,
+		Fault:      o.Fault,
 	})
 }
 

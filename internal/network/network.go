@@ -30,6 +30,60 @@ type Link struct {
 	busyUntil float64
 	transfers uint64
 	drops     uint64
+
+	// degs are the link's scheduled degradation windows (fault
+	// injection); degraded counts the transfers that started inside one.
+	degs     []Degradation
+	degraded uint64
+}
+
+// Degradation weakens a link over [Start, End) of virtual time:
+// bandwidth is divided by BandwidthFactor (>= 1; zero means 1, a
+// latency-only fault) and ExtraLatency is added per traversal. The
+// window that applies to a message is chosen by its transfer *start*
+// time — a pure function of prior traffic, so degraded runs stay
+// byte-identical under the sequential and parallel schedulers.
+// Degradations only ever slow a link down, which keeps the parallel
+// scheduler's lookahead (a lower bound on cross-node latency)
+// conservative; Degrade rejects windows that would speed one up.
+type Degradation struct {
+	Start, End      float64
+	BandwidthFactor float64
+	ExtraLatency    float64
+}
+
+// Validate reports why the degradation is unusable, if it is.
+func (d Degradation) Validate() error {
+	switch {
+	case math.IsNaN(d.Start) || math.IsNaN(d.End) ||
+		math.IsInf(d.Start, 0) || math.IsInf(d.End, 0):
+		return fmt.Errorf("network: degradation window [%v, %v) is not finite", d.Start, d.End)
+	case d.Start < 0:
+		return fmt.Errorf("network: degradation start %v is negative", d.Start)
+	case d.End <= d.Start:
+		return fmt.Errorf("network: degradation window [%v, %v) is empty", d.Start, d.End)
+	case math.IsNaN(d.BandwidthFactor) || (d.BandwidthFactor != 0 && d.BandwidthFactor < 1):
+		return fmt.Errorf("network: bandwidth factor %v would speed the link up (need >= 1)", d.BandwidthFactor)
+	case math.IsInf(d.BandwidthFactor, 1):
+		return fmt.Errorf("network: bandwidth factor is infinite")
+	case math.IsNaN(d.ExtraLatency) || math.IsInf(d.ExtraLatency, 0) || d.ExtraLatency < 0:
+		return fmt.Errorf("network: extra latency %v is not a non-negative finite duration", d.ExtraLatency)
+	}
+	return nil
+}
+
+// Degrade schedules a degradation window on the link. Windows may
+// overlap; overlapping effects stack (factors multiply, latencies
+// add).
+func (l *Link) Degrade(d Degradation) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("%w (link %s)", err, l.Name)
+	}
+	if d.BandwidthFactor == 0 {
+		d.BandwidthFactor = 1
+	}
+	l.degs = append(l.degs, d)
+	return nil
 }
 
 // NewLink returns a link with the given characteristics. Non-positive
@@ -97,7 +151,21 @@ func (l *Link) transfer(t float64, bytes int, flowControlled bool) (done float64
 		}
 	}
 	start := math.Max(t, l.busyUntil)
-	done = start + l.Latency + float64(bytes)/l.Bandwidth
+	latency, bandwidth := l.Latency, l.Bandwidth
+	if len(l.degs) > 0 {
+		hit := false
+		for _, d := range l.degs {
+			if start >= d.Start && start < d.End {
+				latency += d.ExtraLatency
+				bandwidth /= d.BandwidthFactor
+				hit = true
+			}
+		}
+		if hit {
+			l.degraded++
+		}
+	}
+	done = start + latency + float64(bytes)/bandwidth
 	l.busyUntil = done
 	if dropped {
 		done += l.RetransmitPenalty * severity
@@ -108,11 +176,19 @@ func (l *Link) transfer(t float64, bytes int, flowControlled bool) (done float64
 // Stats returns the transfer and drop counts.
 func (l *Link) Stats() (transfers, drops uint64) { return l.transfers, l.drops }
 
-// Reset clears reservations and counters.
+// Degraded returns how many transfers started inside a degradation
+// window.
+func (l *Link) Degraded() uint64 { return l.degraded }
+
+// Reset returns the link to its pristine built state: reservations,
+// counters and degradation windows are all cleared. Fault injection is
+// per run — whoever resets the fabric re-applies its schedule.
 func (l *Link) Reset() {
 	l.busyUntil = 0
 	l.transfers = 0
 	l.drops = 0
+	l.degs = nil
+	l.degraded = 0
 }
 
 // Network is a set of nodes with a routing function returning the
@@ -235,6 +311,40 @@ func (n *Network) SendOpts(t float64, src, dst, bytes int, o SendOptions) (Resul
 	return res, nil
 }
 
+// DegradeLink schedules a degradation window on the named link. The
+// builders name links after their endpoints ("node3->sw", "sw->node3",
+// "node3-loop", "leaf0->root", "root->leaf0"); LinkNames lists the
+// inventory. Naming a link the topology does not have is an error — a
+// fault schedule aimed at a missing edge is a configuration bug, not a
+// no-op.
+func (n *Network) DegradeLink(name string, d Degradation) error {
+	for _, l := range n.links {
+		if l.Name == name {
+			return l.Degrade(d)
+		}
+	}
+	return fmt.Errorf("network: no link named %q (see LinkNames)", name)
+}
+
+// LinkNames returns every link name in inventory order.
+func (n *Network) LinkNames() []string {
+	names := make([]string, len(n.links))
+	for i, l := range n.links {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// DegradedTransfers returns the total transfers that started inside a
+// degradation window, across all links.
+func (n *Network) DegradedTransfers() uint64 {
+	var d uint64
+	for _, l := range n.links {
+		d += l.Degraded()
+	}
+	return d
+}
+
 // Drops returns the total buffer overruns across all links.
 func (n *Network) Drops() uint64 {
 	var d uint64
@@ -245,7 +355,9 @@ func (n *Network) Drops() uint64 {
 	return d
 }
 
-// Reset clears all link state.
+// Reset clears all link state, including any scheduled degradations
+// (see Link.Reset): a reset fabric is failure-free until a fault
+// schedule is applied again.
 func (n *Network) Reset() {
 	for _, l := range n.links {
 		l.Reset()

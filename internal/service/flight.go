@@ -2,16 +2,21 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"montblanc/internal/runner"
 )
 
 // flightCall is one in-flight simulation shared by every request that
 // asked for its key while it ran. res is written once, before done is
-// closed; waiters read it only after <-done.
+// closed; waiters read it only after <-done. started flips once the
+// leader has acquired a simulation slot: a waiter that times out while
+// started is still false was queued behind a saturated semaphore, not
+// behind a slow simulation — the distinction between 503 and 504.
 type flightCall struct {
-	done chan struct{}
-	res  runner.Result
+	done    chan struct{}
+	started atomic.Bool
+	res     runner.Result
 }
 
 // flightGroup deduplicates concurrent work by content hash: however

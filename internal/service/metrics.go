@@ -19,6 +19,7 @@ type metrics struct {
 	cacheHits     atomic.Uint64 // experiment executions served from the LRU
 	cacheMisses   atomic.Uint64 // executions that had to consult the flight group
 	runs          atomic.Uint64 // underlying simulations actually executed
+	rejected      atomic.Uint64 // waits rejected 503: queued past the timeout on a full semaphore
 	inflightReqs  atomic.Int64  // /v1/run handlers currently running
 
 	mu     sync.Mutex
@@ -64,13 +65,18 @@ func (m *metrics) recordRun(res runner.Result) {
 
 // wireMetrics is the /metrics JSON document.
 type wireMetrics struct {
-	RequestsTotal    uint64              `json:"requests_total"`
-	RequestErrors    uint64              `json:"request_errors"`
-	CacheHits        uint64              `json:"cache_hits"`
-	CacheMisses      uint64              `json:"cache_misses"`
-	CacheEntries     int                 `json:"cache_entries"`
-	CacheEvictions   uint64              `json:"cache_evictions"`
-	RunsTotal        uint64              `json:"runs_total"`
+	RequestsTotal  uint64 `json:"requests_total"`
+	RequestErrors  uint64 `json:"request_errors"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	RunsTotal      uint64 `json:"runs_total"`
+	// RejectedTotal counts saturation rejections: request deadlines
+	// that expired while the simulation was still queued for a slot
+	// (503 "saturated" + Retry-After). A new field on the stable
+	// /metrics contract — existing names never change.
+	RejectedTotal    uint64              `json:"rejected_total"`
 	InflightRequests int64               `json:"inflight_requests"`
 	InflightRuns     int                 `json:"inflight_runs"`
 	Experiments      map[string]expStats `json:"experiments"`
@@ -98,6 +104,7 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64, inflightRuns
 		CacheEntries:     cacheEntries,
 		CacheEvictions:   cacheEvictions,
 		RunsTotal:        m.runs.Load(),
+		RejectedTotal:    m.rejected.Load(),
 		InflightRequests: m.inflightReqs.Load(),
 		InflightRuns:     inflightRuns,
 		Experiments:      exps,

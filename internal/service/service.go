@@ -25,10 +25,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"montblanc/internal/experiments"
+	"montblanc/internal/fault"
 	"montblanc/internal/platform"
 	"montblanc/internal/report"
 	"montblanc/internal/runner"
@@ -84,6 +86,12 @@ type Server struct {
 
 // errShuttingDown marks work refused because the server is draining.
 var errShuttingDown = errors.New("shutting down")
+
+// errSaturated marks a request that timed out while its simulation was
+// still queued behind -max-concurrent busy slots: the service is
+// overloaded (503 + Retry-After), not slow (504). The leader keeps its
+// queue position either way — the work still lands in the cache.
+var errSaturated = errors.New("all simulation slots busy")
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
@@ -203,6 +211,11 @@ type wireOptions struct {
 	// the cache key: a cached result serves requests at any worker
 	// count.
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// Fault is an optional fault schedule for the resilience
+	// experiments (see FAULT.md). Unlike sim_workers it changes
+	// experiment output, so it IS cache-key material: a fault-injected
+	// request never replays a failure-free entry.
+	Fault *fault.Spec `json:"fault,omitempty"`
 }
 
 // wireError is the structured error envelope every non-2xx response
@@ -256,12 +269,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Options.SimWorkers > simmpi.MaxWorkers {
 		req.Options.SimWorkers = simmpi.MaxWorkers
 	}
+	// Validate the fault schedule up front: hostile numbers (NaN rates,
+	// negative MTBFs, non-positive checkpoint intervals) are a 400
+	// naming the field, not a per-experiment failure buried in results.
+	if req.Options.Fault != nil {
+		if err := req.Options.Fault.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_fault", "%v", err)
+			return
+		}
+	}
 	opts := experiments.Options{
 		Quick:      req.Options.Quick,
 		Seed:       req.Options.Seed,
 		Platforms:  req.Options.Platforms,
 		Specs:      req.Specs,
 		SimWorkers: req.Options.SimWorkers,
+		Fault:      req.Options.Fault,
 	}
 	// Validate inline specs up front so a bad machine is a 400 naming
 	// the spec, not a per-experiment failure buried in results.
@@ -315,6 +338,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		switch {
+		case errors.Is(tr.Err, errSaturated):
+			secs := int(s.requestTimeout() / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.writeError(w, http.StatusServiceUnavailable, "saturated",
+				"experiment %s waited %s for a simulation slot (all %d busy); it stays queued and lands in the cache — retry later",
+				tr.ID, s.requestTimeout(), cap(s.sem))
 		case errors.Is(tr.Err, context.DeadlineExceeded):
 			s.writeError(w, http.StatusGatewayTimeout, "timeout",
 				"experiment %s did not finish within %s (it keeps running; retry to hit the cache)",
@@ -359,7 +391,7 @@ func (s *Server) resolve(ctx context.Context, e experiments.Experiment, o experi
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.flight.complete(key, c, s.execute(e, o, key))
+			s.flight.complete(key, c, s.execute(e, o, key, c))
 		}()
 	}
 	select {
@@ -369,6 +401,14 @@ func (s *Server) resolve(ctx context.Context, e experiments.Experiment, o experi
 		}
 		return c.res, false, nil
 	case <-ctx.Done():
+		// A deadline that expired while the leader was still queued for
+		// a simulation slot is saturation, not slowness: the semaphore
+		// was full past the whole request timeout. The leader keeps its
+		// queue position — the work still lands in the cache.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && !c.started.Load() {
+			s.met.rejected.Add(1)
+			return runner.Result{}, false, errSaturated
+		}
 		return runner.Result{}, false, ctx.Err()
 	}
 }
@@ -376,16 +416,18 @@ func (s *Server) resolve(ctx context.Context, e experiments.Experiment, o experi
 // execute runs one simulation under the concurrency limit and stores
 // the result. It is the only place experiment code runs in the
 // service.
-func (s *Server) execute(e experiments.Experiment, o experiments.Options, key string) runner.Result {
+func (s *Server) execute(e experiments.Experiment, o experiments.Options, key string, c *flightCall) runner.Result {
 	// Double-check the cache: this leader may have claimed the key in
 	// the window after a previous leader stored the result but before
 	// its flight retired — rerunning would be wasted work (never a
 	// wrong answer; the one-simulation guarantee is the product).
 	if res, ok := s.cache.get(key); ok {
+		c.started.Store(true) // replayed, never queued: hits are not saturation
 		return res
 	}
 	select {
 	case s.sem <- struct{}{}:
+		c.started.Store(true)
 	case <-s.baseCtx.Done():
 		// Not cached: the refusal is transient, the value under this
 		// key is not.

@@ -516,3 +516,209 @@ func TestMetricsSimSection(t *testing.T) {
 		t.Fatalf("sim section does not decode as EngineStats: %v", err)
 	}
 }
+
+// --- saturation vs timeout ------------------------------------------
+
+// TestSaturationVsTimeout pins the overload contract: a deadline that
+// expires while the simulation is RUNNING is a 504 "timeout"; one that
+// expires while the simulation is still QUEUED behind a full
+// -max-concurrent semaphore is a 503 "saturated" with a Retry-After
+// header, counted once in rejected_total. Either way the leader keeps
+// its queue position and the work lands in the cache for the retry.
+func TestSaturationVsTimeout(t *testing.T) {
+	release := make(chan struct{})
+	hog := experiments.Experiment{
+		ID: "hog",
+		Run: func(w io.Writer, o experiments.Options) error {
+			<-release
+			fmt.Fprintln(w, "hogged")
+			return nil
+		},
+	}
+	starved := experiments.Experiment{
+		ID: "starved",
+		Run: func(w io.Writer, o experiments.Options) error {
+			fmt.Fprintln(w, "fast")
+			return nil
+		},
+	}
+	s := New(Config{Match: fakeMatch(hog, starved), MaxConcurrent: 1,
+		RequestTimeout: 100 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Order matters: the hog request occupies the single slot first, so
+	// the starved one spends its whole deadline queued.
+	cases := []struct {
+		name           string
+		body           string
+		wantStatus     int
+		wantCode       string
+		wantRetryAfter string
+	}{
+		{"running past the deadline is a timeout",
+			`{"experiments":["hog"],"options":{}}`,
+			http.StatusGatewayTimeout, "timeout", ""},
+		{"queued past the deadline is saturation",
+			`{"experiments":["starved"],"options":{}}`,
+			http.StatusServiceUnavailable, "saturated", "1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postRun(t, ts, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body: %s", resp.StatusCode, tc.wantStatus, body)
+			}
+			var we wireError
+			if err := json.Unmarshal([]byte(body), &we); err != nil || we.Error.Code != tc.wantCode {
+				t.Fatalf("error code %q (decode err %v), want %q; body: %s",
+					we.Error.Code, err, tc.wantCode, body)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.wantRetryAfter {
+				t.Errorf("Retry-After %q, want %q", got, tc.wantRetryAfter)
+			}
+		})
+	}
+
+	var m wireMetrics
+	getJSON(t, ts, "/metrics", &m)
+	if m.RejectedTotal != 1 {
+		t.Errorf("rejected_total = %d, want 1 (a timeout is not a rejection)", m.RejectedTotal)
+	}
+
+	// Both leaders kept their queue positions: release the hog and both
+	// results land in the cache, so the retries are pure hits with no
+	// second simulation.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for _, body := range []string{cases[0].body, cases[1].body} {
+		for {
+			resp, _ := postRun(t, ts, body)
+			if resp.StatusCode == http.StatusOK &&
+				resp.Header.Get("X-Montblanc-Cache") == "hits=1 misses=0" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("retry of %s never became a cache hit", body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	getJSON(t, ts, "/metrics", &m)
+	if m.RunsTotal != 2 {
+		t.Errorf("runs_total = %d, want 2 (retries replay, never rerun)", m.RunsTotal)
+	}
+}
+
+// --- fault schedules on the wire ------------------------------------
+
+// Hostile fault schedules are a structured 400 naming the field before
+// any simulation runs. JSON cannot carry NaN — the decoder rejects it
+// at the syntax level — so the representable hostile inputs are
+// negative rates, inverted windows and speedup factors; a literal NaN
+// is covered as a decode error.
+func TestBadFaultRejected(t *testing.T) {
+	exp := experiments.Experiment{
+		ID: "toy",
+		Run: func(w io.Writer, o experiments.Options) error {
+			fmt.Fprintln(w, "ok")
+			return nil
+		},
+	}
+	s := New(Config{Match: fakeMatch(exp)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name     string
+		fault    string
+		wantCode string
+		wantMsg  string
+	}{
+		{"negative mtbf", `{"mtbf_seconds":-1}`, "bad_fault", "mtbf_seconds"},
+		{"negative downtime", `{"downtime_seconds":-3}`, "bad_fault", "downtime_seconds"},
+		{"negative checkpoint interval", `{"checkpoint_interval_seconds":-5}`,
+			"bad_fault", "checkpoint_interval_seconds"},
+		{"negative event node", `{"events":[{"node":-1,"time":5}]}`, "bad_fault", "negative node"},
+		{"negative event time", `{"events":[{"node":0,"time":-2}]}`, "bad_fault", "events[0]"},
+		{"empty link name", `{"links":[{"link":"","start":1,"end":5}]}`, "bad_fault", "empty link name"},
+		{"inverted link window", `{"links":[{"link":"node0->sw","start":5,"end":1,"bandwidth_factor":2}]}`,
+			"bad_fault", "links[0]"},
+		{"speedup link", `{"links":[{"link":"node0->sw","start":1,"end":5,"bandwidth_factor":0.5}]}`,
+			"bad_fault", "links[0]"},
+		{"literal NaN is a decode error", `{"mtbf_seconds":NaN}`, "bad_request", "decoding"},
+		{"unknown fault field", `{"mtbf_secnods":120}`, "bad_request", "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := `{"experiments":["toy"],"options":{"fault":` + tc.fault + `}}`
+			resp, out := postRun(t, ts, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body: %s", resp.StatusCode, out)
+			}
+			var we wireError
+			if err := json.Unmarshal([]byte(out), &we); err != nil {
+				t.Fatalf("unstructured error body: %s", out)
+			}
+			if we.Error.Code != tc.wantCode {
+				t.Errorf("code %q, want %q (message %q)", we.Error.Code, tc.wantCode, we.Error.Message)
+			}
+			if !strings.Contains(we.Error.Message, tc.wantMsg) {
+				t.Errorf("message %q does not name the problem %q", we.Error.Message, tc.wantMsg)
+			}
+		})
+	}
+
+	var m wireMetrics
+	getJSON(t, ts, "/metrics", &m)
+	if m.RunsTotal != 0 {
+		t.Errorf("hostile schedules reached the simulator: runs_total = %d", m.RunsTotal)
+	}
+}
+
+// TestFaultIsCacheKeyMaterial: a fault schedule changes experiment
+// output, so unlike sim_workers it must be part of the content
+// address — a fault-injected request never replays a failure-free
+// entry, and repeating the same schedule is a pure hit.
+func TestFaultIsCacheKeyMaterial(t *testing.T) {
+	var runs atomic.Int64
+	exp := experiments.Experiment{
+		ID: "toy",
+		Run: func(w io.Writer, o experiments.Options) error {
+			runs.Add(1)
+			if o.Fault != nil {
+				fmt.Fprintf(w, "mtbf=%g\n", o.Fault.MTBFSeconds)
+			} else {
+				fmt.Fprintln(w, "failure-free")
+			}
+			return nil
+		},
+	}
+	s := New(Config{Match: fakeMatch(exp)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	clean := `{"experiments":["toy"],"options":{}}`
+	faulted := `{"experiments":["toy"],"options":{"fault":{"seed":7,"mtbf_seconds":120,"horizon_seconds":600}}}`
+
+	if resp, _ := postRun(t, ts, clean); resp.Header.Get("X-Montblanc-Cache") != "hits=0 misses=1" {
+		t.Fatal("clean run was not a cold miss")
+	}
+	respF, coldF := postRun(t, ts, faulted)
+	if respF.Header.Get("X-Montblanc-Cache") != "hits=0 misses=1" {
+		t.Error("faulted request replayed the failure-free entry")
+	}
+	if !strings.Contains(coldF, "mtbf=120") {
+		t.Errorf("fault did not reach the experiment: %s", coldF)
+	}
+	respF2, warmF := postRun(t, ts, faulted)
+	if respF2.Header.Get("X-Montblanc-Cache") != "hits=1 misses=0" {
+		t.Error("repeated schedule was not a pure hit")
+	}
+	if coldF != warmF {
+		t.Error("faulted cache hit not byte-identical")
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("simulation ran %d times, want 2 (clean + faulted)", n)
+	}
+}

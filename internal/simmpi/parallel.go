@@ -168,7 +168,8 @@ func runParallel(cfg Config, body func(*Proc) error, workers int) (*Report, erro
 	}
 	stats.CrossSends = pw.crossSends
 	stats.Wall = nowMonotonic() - start
-	rep := &Report{RankSeconds: pw.endTimes, Drops: cfg.Net.Drops(), Sched: stats}
+	rep := &Report{RankSeconds: pw.endTimes, Drops: cfg.Net.Drops(), Sched: stats,
+		Faults: faultTotals(procs)}
 	for _, t := range pw.endTimes {
 		if t > rep.Seconds {
 			rep.Seconds = t

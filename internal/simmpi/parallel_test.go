@@ -1,6 +1,7 @@
 package simmpi
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -45,6 +46,10 @@ func assertParallelEquivalent(t *testing.T, cfg Config, body func(*Proc) error) 
 		}
 		if got.Drops != ref.Drops {
 			t.Fatalf("workers=%d: drops %d, sequential %d", workers, got.Drops, ref.Drops)
+		}
+		if got.Faults.DownSeconds != ref.Faults.DownSeconds || got.Faults.Interrupts != ref.Faults.Interrupts {
+			t.Fatalf("workers=%d: fault accounting (%v down, %d interrupts), sequential (%v, %d)",
+				workers, got.Faults.DownSeconds, got.Faults.Interrupts, ref.Faults.DownSeconds, ref.Faults.Interrupts)
 		}
 		if got.Sched.Events != ref.Sched.Events {
 			t.Fatalf("workers=%d: events %d, sequential %d", workers, got.Sched.Events, ref.Sched.Events)
@@ -332,5 +337,131 @@ func TestParallelSchedStats(t *testing.T) {
 	}
 	if st.Events == 0 || st.CrossSends == 0 || st.LocalSends == 0 {
 		t.Errorf("degenerate stats: %+v", st)
+	}
+}
+
+// Fault-injected workloads: randomized outage storms plus degraded
+// star uplinks. Outages warp rank clocks and degradations stretch
+// cross-node transfers — both must survive the window barrier
+// byte-identically at every worker count. Link degradations live on
+// the network and Net.Reset clears them, so this test re-applies the
+// schedule after each reset instead of using assertParallelEquivalent.
+func TestParallelEquivalenceFaultStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-storm property suite in -short mode")
+	}
+	var sawInterrupt, sawDegraded bool
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed%1000 + 1)
+		ranks := 4 + int(rng.Uint64()%16) // 4..19
+		per := 1 + int(rng.Uint64()%2)    // 1..2
+		rounds := 2 + int(rng.Uint64()%3) // 2..4
+		bytes := 512 << (rng.Uint64() % 6)
+		nodes := (ranks + per - 1) / per
+		cfg := starConfig(ranks, per)
+		cfg.CollectTrace = true
+		// One early outage that always lands inside the active phase,
+		// plus up to two random ones (possibly overlapping — the merge
+		// path is part of what must reproduce).
+		cfg.Outages = []Outage{{Node: int(rng.Uint64() % uint64(nodes)), Start: 1e-4, End: 5e-3}}
+		for i := 0; i < int(rng.Uint64()%3); i++ {
+			start := 1e-5 * float64(rng.Uint64()%3000)
+			cfg.Outages = append(cfg.Outages, Outage{
+				Node:  int(rng.Uint64() % uint64(nodes)),
+				Start: start,
+				End:   start + 1e-5*float64(1+rng.Uint64()%2000),
+			})
+		}
+		// One always-hot degradation over the first transfers, plus a
+		// random later window on a random uplink.
+		type linkDeg struct {
+			link string
+			d    network.Degradation
+		}
+		degs := []linkDeg{{
+			link: fmt.Sprintf("node%d->sw", rng.Uint64()%uint64(nodes)),
+			d:    network.Degradation{Start: 0, End: 10e-3, BandwidthFactor: 1 + float64(rng.Uint64()%10)},
+		}}
+		if rng.Uint64()%2 == 0 {
+			start := 1e-5 * float64(rng.Uint64()%2000)
+			degs = append(degs, linkDeg{
+				link: fmt.Sprintf("node%d->sw", rng.Uint64()%uint64(nodes)),
+				d: network.Degradation{
+					Start:           start,
+					End:             start + 1e-5*float64(1+rng.Uint64()%3000),
+					BandwidthFactor: 1 + float64(rng.Uint64()%20),
+					ExtraLatency:    1e-6 * float64(rng.Uint64()%200),
+				},
+			})
+		}
+		body := func(p *Proc) error {
+			prng := xrand.New(seed*7919 + uint64(p.Rank()))
+			for it := 0; it < rounds; it++ {
+				p.Compute(1e-5*float64(prng.Uint64()%400), "work")
+				peer := (p.Rank() + 1 + it) % p.Size()
+				anti := (p.Rank() - 1 - it + p.Size()*(it+2)) % p.Size()
+				if err := p.Send(peer, it, bytes); err != nil {
+					return err
+				}
+				if err := p.Recv(anti, it); err != nil {
+					return err
+				}
+				if it%2 == 0 {
+					if err := p.Barrier(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		run := func(workers int) *Report {
+			cfg.Workers = workers
+			cfg.Net.Reset()
+			for _, dg := range degs {
+				if err := cfg.Net.DegradeLink(dg.link, dg.d); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			rep, err := Run(cfg, body)
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			return rep
+		}
+		ref := run(0)
+		if ref.Faults.Interrupts > 0 {
+			sawInterrupt = true
+		}
+		if cfg.Net.DegradedTransfers() > 0 {
+			sawDegraded = true
+		}
+		for workers := 2; workers <= 8; workers++ {
+			got := run(workers)
+			switch {
+			case got.Seconds != ref.Seconds:
+				t.Fatalf("seed %d workers=%d: makespan %v, sequential %v", seed, workers, got.Seconds, ref.Seconds)
+			case !reflect.DeepEqual(got.RankSeconds, ref.RankSeconds):
+				t.Fatalf("seed %d workers=%d: rank end times differ", seed, workers)
+			case got.Faults.DownSeconds != ref.Faults.DownSeconds || got.Faults.Interrupts != ref.Faults.Interrupts:
+				t.Fatalf("seed %d workers=%d: fault accounting (%v down, %d interrupts), sequential (%v, %d)",
+					seed, workers, got.Faults.DownSeconds, got.Faults.Interrupts, ref.Faults.DownSeconds, ref.Faults.Interrupts)
+			case got.Drops != ref.Drops:
+				t.Fatalf("seed %d workers=%d: drops %d, sequential %d", seed, workers, got.Drops, ref.Drops)
+			case !reflect.DeepEqual(got.Trace.Intervals, ref.Trace.Intervals):
+				t.Fatalf("seed %d workers=%d: trace intervals differ", seed, workers)
+			case !reflect.DeepEqual(got.Trace.Comms, ref.Trace.Comms):
+				t.Fatalf("seed %d workers=%d: trace comms differ", seed, workers)
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawInterrupt {
+		t.Error("no seed produced an interrupting outage — the storm never bit")
+	}
+	if !sawDegraded {
+		t.Error("no seed produced a degraded transfer — the link faults never bit")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"montblanc/internal/network"
@@ -39,11 +40,35 @@ const EagerThreshold = 64 << 10
 // Absurd requests are clamped here rather than rejected.
 const MaxWorkers = 64
 
+// Outage marks a node unavailable over [Start, End) of virtual time: a
+// crash at Start followed by a restart at End. While the node is down
+// its ranks are frozen — local work in progress resumes after the
+// restart, and communication completions landing inside the window are
+// deferred to it (in-flight messages progress through the fabric
+// store-and-forward, but a rank cannot observe them while its node is
+// down). Down windows are left unrecorded in the trace, so
+// phase-resolved energy accounting prices them at idle watts for free.
+//
+// Determinism: an outage changes only how a rank's local clock
+// advances — a pure function of (the rank's node, the rank's program)
+// — so the sequential and conservative-parallel schedulers commit
+// byte-identical runs with no new synchronization. Warps only ever
+// move clocks forward, which keeps the lookahead bound conservative.
+type Outage struct {
+	Node       int
+	Start, End float64
+}
+
 // Config describes one simulated job.
 type Config struct {
 	Ranks        int
 	Net          *network.Network
 	RanksPerNode int // default 1
+
+	// Outages injects node failures into the run (see Outage). Windows
+	// on the same node may overlap; they are merged. Empty means a
+	// failure-free run, byte-identical to a Config without the field.
+	Outages []Outage
 
 	// CoreFlopsPerSec is the per-rank sustained floating-point rate used
 	// by ComputeFlops. Default 1e9.
@@ -112,6 +137,19 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("simmpi: negative worker count %d", c.Workers)
 	}
+	for i, o := range c.Outages {
+		switch {
+		case math.IsNaN(o.Start) || math.IsNaN(o.End) ||
+			math.IsInf(o.Start, 0) || math.IsInf(o.End, 0):
+			return fmt.Errorf("simmpi: outage %d: non-finite window [%v, %v)", i, o.Start, o.End)
+		case o.Start < 0:
+			return fmt.Errorf("simmpi: outage %d: negative start %v", i, o.Start)
+		case o.End <= o.Start:
+			return fmt.Errorf("simmpi: outage %d: empty window [%v, %v)", i, o.Start, o.End)
+		case o.Node < 0 || o.Node >= c.Net.NumNodes:
+			return fmt.Errorf("simmpi: outage %d: node %d outside [0, %d)", i, o.Node, c.Net.NumNodes)
+		}
+	}
 	return nil
 }
 
@@ -122,6 +160,16 @@ type Report struct {
 	Trace       *trace.Trace // nil unless CollectTrace
 	Drops       uint64       // network buffer overruns
 	Sched       SchedStats   // how the scheduler executed the run
+	Faults      FaultStats   // injected-outage impact (zero when failure-free)
+}
+
+// FaultStats summarizes what the injected node outages did to a run.
+// Like the rest of the report it is byte-identical at any worker
+// count: freezes are a pure function of each rank's program and its
+// node's outage windows.
+type FaultStats struct {
+	DownSeconds float64 // total rank-seconds frozen inside outage windows
+	Interrupts  uint64  // rank-freeze events (one per outage a rank hit)
 }
 
 // SchedStats describes one run from the scheduler's point of view:
@@ -213,6 +261,11 @@ type world struct {
 	comms    []trace.Comm
 	hooks    hooks
 
+	// outages holds each node's merged, start-sorted outage windows;
+	// nil for failure-free runs (the hot paths then skip all fault
+	// bookkeeping).
+	outages [][]Outage
+
 	// Interned trace labels, indexed by peer rank (built only when
 	// CollectTrace is set): one "send->N" / "recv<-N" string per rank
 	// for the whole run instead of one fmt.Sprintf per message.
@@ -233,6 +286,14 @@ type Proc struct {
 	collSeq      map[string]int
 	droppedRecvs int // running count of retransmitted messages received
 	postBuf      op  // the rank's reusable operation struct
+
+	// down is this rank's node's outage schedule (nil when failure-
+	// free); downIdx advances monotonically with the clock, so fault
+	// checks are O(1) amortized and free once the last outage is past.
+	down        []Outage
+	downIdx     int
+	downSeconds float64
+	interrupts  uint64
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -246,12 +307,7 @@ func (p *Proc) Now() float64 { return p.now }
 
 // Compute advances the virtual clock by seconds of local work.
 func (p *Proc) Compute(seconds float64, label string) {
-	if seconds < 0 {
-		seconds = 0
-	}
-	start := p.now
-	p.now += seconds
-	p.record(trace.StateCompute, label, start)
+	p.advance(seconds, trace.StateCompute, label)
 }
 
 // ComputeFlops advances the clock by flops at the configured core rate.
@@ -263,20 +319,76 @@ func (p *Proc) ComputeFlops(flops float64, label string) {
 // (cores waiting on DRAM), recorded as a memory interval so
 // phase-resolved power accounting can charge it at memory watts.
 func (p *Proc) Stall(seconds float64, label string) {
+	p.advance(seconds, trace.StateMemory, label)
+}
+
+// advance moves the clock forward by seconds of local work of the
+// given kind, freezing whenever the rank's node is down: work that
+// overlaps an outage is suspended and resumes after the restart,
+// recorded as separate intervals around the (unrecorded) down window.
+func (p *Proc) advance(seconds float64, kind trace.Kind, label string) {
 	if seconds < 0 {
 		seconds = 0
 	}
-	start := p.now
-	p.now += seconds
-	p.record(trace.StateMemory, label, start)
+	if p.downIdx >= len(p.down) {
+		// The only path failure-free runs take: byte-identical to the
+		// historical Compute/Stall, including zero-length intervals.
+		start := p.now
+		p.now += seconds
+		p.record(kind, label, start, p.now)
+		return
+	}
+	remaining := seconds
+	for {
+		p.skipDown()
+		limit := math.Inf(1)
+		if p.downIdx < len(p.down) {
+			limit = p.down[p.downIdx].Start
+		}
+		if p.now+remaining <= limit {
+			start := p.now
+			p.now += remaining
+			p.record(kind, label, start, p.now)
+			return
+		}
+		// Work until the crash, then loop: skipDown freezes across the
+		// outage opening at limit and the tail resumes after it.
+		if done := limit - p.now; done > 0 {
+			p.record(kind, label, p.now, limit)
+			p.now = limit
+			remaining -= done
+		} else {
+			p.now = limit
+		}
+	}
 }
 
-func (p *Proc) record(kind trace.Kind, name string, start float64) {
+// skipDown freezes the rank across any outage containing its current
+// clock, charging the frozen time to the fault stats. Clocks are
+// monotonic, so the window index only ever moves forward.
+func (p *Proc) skipDown() {
+	for p.downIdx < len(p.down) {
+		o := p.down[p.downIdx]
+		if o.End <= p.now {
+			p.downIdx++
+			continue
+		}
+		if o.Start > p.now {
+			return
+		}
+		p.downSeconds += o.End - p.now
+		p.interrupts++
+		p.now = o.End
+		p.downIdx++
+	}
+}
+
+func (p *Proc) record(kind trace.Kind, name string, start, end float64) {
 	if p.tr == nil {
 		return
 	}
 	p.tr.AddInterval(trace.Interval{
-		Rank: p.rank, Kind: kind, Name: name, Start: start, End: p.now,
+		Rank: p.rank, Kind: kind, Name: name, Start: start, End: end,
 	})
 }
 
@@ -311,8 +423,12 @@ func (p *Proc) Send(dst, tag, bytes int) error {
 	start := p.now
 	p.now = p.post(opSend, 0, dst, tag, bytes).time
 	if p.tr != nil {
-		p.record(trace.StateSend, p.w.sendLabels[dst], start)
+		p.record(trace.StateSend, p.w.sendLabels[dst], start, p.now)
 	}
+	// A completion landing inside an outage is observed at the restart;
+	// the gap between the recorded interval and the warped clock shows
+	// up as idle time.
+	p.skipDown()
 	return nil
 }
 
@@ -328,8 +444,9 @@ func (p *Proc) Recv(src, tag int) error {
 		p.droppedRecvs++
 	}
 	if p.tr != nil {
-		p.record(trace.StateRecv, p.w.recvLabels[src], start)
+		p.record(trace.StateRecv, p.w.recvLabels[src], start, p.now)
 	}
+	p.skipDown() // deferred completion, as in Send
 	return nil
 }
 
@@ -370,6 +487,9 @@ func newWorld(cfg Config, h hooks) *world {
 		pending: make([]*op, cfg.Ranks),
 		hooks:   h,
 	}
+	if len(cfg.Outages) > 0 {
+		w.outages = buildNodeOutages(cfg)
+	}
 	if cfg.CollectTrace {
 		w.sendLabels = make([]string, cfg.Ranks)
 		w.recvLabels = make([]string, cfg.Ranks)
@@ -395,6 +515,10 @@ func (w *world) spawnProcs(body func(*Proc) error, chFor func(rank int) chan *op
 	for r := 0; r < cfg.Ranks; r++ {
 		w.resume[r] = make(chan resumeMsg, 1)
 		p := &Proc{rank: r, size: cfg.Ranks, w: w, opCh: chFor(r), collSeq: map[string]int{}}
+		if w.outages != nil {
+			p.down = w.outages[w.node(r)]
+			p.skipDown() // a node down at t=0 boots its ranks at the restart
+		}
 		if cfg.CollectTrace {
 			p.tr = trace.New(cfg.Ranks)
 			if cfg.TraceHint > 0 {
@@ -420,6 +544,53 @@ func (w *world) spawnProcs(body func(*Proc) error, chFor func(rank int) chan *op
 		}(p)
 	}
 	return procs
+}
+
+// buildNodeOutages groups, sorts and merges the configured outages by
+// node. Overlapping or adjacent windows on one node collapse into one,
+// so skipDown always sees disjoint windows in start order.
+func buildNodeOutages(cfg Config) [][]Outage {
+	per := make([][]Outage, cfg.Net.NumNodes)
+	for _, o := range cfg.Outages {
+		per[o.Node] = append(per[o.Node], o)
+	}
+	for n, list := range per {
+		if len(list) < 2 {
+			continue
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Start != list[j].Start {
+				return list[i].Start < list[j].Start
+			}
+			return list[i].End < list[j].End
+		})
+		merged := list[:1]
+		for _, o := range list[1:] {
+			last := &merged[len(merged)-1]
+			if o.Start <= last.End {
+				if o.End > last.End {
+					last.End = o.End
+				}
+				continue
+			}
+			merged = append(merged, o)
+		}
+		per[n] = merged
+	}
+	return per
+}
+
+// faultTotals sums the per-rank freeze accounting after a run. Safe to
+// read without further synchronization: a rank writes its counters
+// before posting opExit, and the scheduler observed that exit before
+// the run returned.
+func faultTotals(procs []*Proc) FaultStats {
+	var fs FaultStats
+	for _, p := range procs {
+		fs.DownSeconds += p.downSeconds
+		fs.Interrupts += p.interrupts
+	}
+	return fs
 }
 
 // mergeTrace assembles the final trace: per-rank intervals in rank
@@ -557,7 +728,8 @@ func run(cfg Config, body func(*Proc) error, h hooks) (*Report, error) {
 	}
 
 	stats.Wall = nowMonotonic() - start
-	rep := &Report{RankSeconds: endTimes, Drops: cfg.Net.Drops(), Sched: stats}
+	rep := &Report{RankSeconds: endTimes, Drops: cfg.Net.Drops(), Sched: stats,
+		Faults: faultTotals(procs)}
 	for _, t := range endTimes {
 		if t > rep.Seconds {
 			rep.Seconds = t
