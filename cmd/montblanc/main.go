@@ -32,6 +32,8 @@
 //
 //	montblanc serve -addr :8080                       # simulation-as-a-service (see SERVICE.md)
 //	montblanc -platform-file m.json serve             # serve extra machines too
+//	montblanc serve -cache-dir /var/cache/montblanc   # results survive restarts (even kill -9)
+//	montblanc call -url http://host:8080 'fig3*'      # resilient client: retries, backoff, Retry-After
 //
 // The serve mode exposes the experiments over HTTP/JSON (POST /v1/run,
 // GET /v1/experiments, /v1/platforms, /metrics, /healthz) with a
@@ -221,6 +223,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if fs.Arg(0) == "serve" {
 		return runServe(fs.Args()[1:], stderr)
 	}
+	// The call mode likewise owns everything after its verb: it is the
+	// resilient HTTP client for a running serve instance (see call.go).
+	if fs.Arg(0) == "call" {
+		return runCall(fs.Args()[1:], stdout, stderr)
+	}
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed, SimWorkers: *simWorkers}
 	// Fault flags assemble one schedule for the resilience experiments:
@@ -398,7 +405,9 @@ func runServe(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("montblanc serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	cacheSize := fs.Int("cache-size", 1024, "maximum cached results (content-addressed LRU)")
+	cacheEntries := fs.Int("cache-entries", 0, "maximum in-memory cached results (content-addressed LRU; unset = 1024)")
+	cacheDir := fs.String("cache-dir", "", "directory for the durable result store (persists across restarts; empty = memory only)")
+	cachePersistMax := fs.Int64("cache-persist-max-bytes", 0, "bound on durable-store payload bytes, oldest pruned first (0 = unlimited)")
 	maxConcurrent := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "maximum simulations executing at once")
 	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request timeout (the simulation continues and lands in the cache)")
 	shutdownGrace := fs.Duration("shutdown-grace", 30*time.Second, "bound on draining in-flight work at shutdown")
@@ -410,6 +419,12 @@ cache (see SERVICE.md): POST /v1/run, GET /v1/experiments,
 /v1/platforms, /metrics, /healthz. Repeated requests for the same
 (experiment, options, platform specs) content hash are answered from
 the cache; concurrent identical requests cost one simulation.
+
+With -cache-dir the cache gains a durable tier: results are written to
+disk (atomic rename, checksummed) and survive restarts — even kill -9 —
+so an identical request after restart is a disk hit, not a re-run.
+Corrupt entries are detected on read, quarantined as *.corrupt and
+recomputed; see the persistence section of SERVICE.md.
 
 Flags:`)
 		fs.PrintDefaults()
@@ -424,16 +439,40 @@ Flags:`)
 		fmt.Fprintf(stderr, "montblanc serve: unexpected argument %q\n", fs.Arg(0))
 		return 2
 	}
+	// -cache-entries left unset means "service default" (1024); set, it
+	// must be a real capacity. An explicit 0 or negative used to be
+	// silently coerced to the default — now it is a usage error, so a
+	// typo cannot masquerade as a 1024-entry cache.
+	entriesSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "cache-entries" {
+			entriesSet = true
+		}
+	})
+	if entriesSet && *cacheEntries <= 0 {
+		fmt.Fprintf(stderr, "montblanc serve: -cache-entries must be > 0, got %d (omit the flag for the default 1024)\n", *cacheEntries)
+		return 2
+	}
+	if *cachePersistMax < 0 {
+		fmt.Fprintf(stderr, "montblanc serve: -cache-persist-max-bytes must be >= 0, got %d\n", *cachePersistMax)
+		return 2
+	}
 
-	srv := service.New(service.Config{
-		MaxConcurrent:  *maxConcurrent,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *requestTimeout,
-		ShutdownGrace:  *shutdownGrace,
+	srv, err := service.New(service.Config{
+		MaxConcurrent:        *maxConcurrent,
+		CacheSize:            *cacheEntries,
+		CacheDir:             *cacheDir,
+		CachePersistMaxBytes: *cachePersistMax,
+		RequestTimeout:       *requestTimeout,
+		ShutdownGrace:        *shutdownGrace,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "montblanc serve:", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "montblanc serve:", err)
@@ -533,6 +572,7 @@ func writeEngineStats(w io.Writer) error {
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintf(w, `usage: montblanc [flags] <experiment|pattern>... | list | platforms | all
        montblanc serve [serve flags]   (run 'montblanc serve -h')
+       montblanc call [call flags] <experiment|pattern>...   (run 'montblanc call -h')
 
 Reproduces the tables and figures of Stanisic et al., "Performance
 Analysis of HPC Applications on Low-Power Embedded Platforms" (DATE'13).
@@ -564,7 +604,12 @@ byte-identical at any -sim-workers value.
 
 'montblanc serve' runs the experiments as a long-lived HTTP/JSON
 service with a content-addressed result cache (SERVICE.md documents
-the API); machines registered via -platform-file are served too.
+the API); machines registered via -platform-file are served too. With
+-cache-dir the cache persists across restarts. 'montblanc call' is the
+matching resilient client: capped exponential backoff with full
+jitter, Retry-After honored on 503, per-attempt timeouts and a total
+retry budget — blind retries are safe because requests are
+content-addressed.
 
 `)
 	fs.PrintDefaults()

@@ -1,0 +1,262 @@
+// Package client is the resilient counterpart to `montblanc serve`:
+// an HTTP client for the /v1/run API with per-attempt timeouts, a
+// bounded number of attempts, and capped exponential backoff with
+// full jitter between them.
+//
+// Blind retries are safe by construction: the service is
+// content-addressed, so re-sending a request either replays the
+// cached result byte-identically or joins the in-flight computation —
+// it can never run a simulation twice or observe a half-applied
+// write. That is what lets this client treat every transport error,
+// 503 and 504 as "try again" without idempotency bookkeeping.
+//
+// The backoff schedule is seeded (internal/xrand), so a client's
+// retry timing replays exactly under the same seed while distinct
+// seeds decorrelate a retry storm — the same determinism discipline
+// as everywhere else in the repository (this package is covered by
+// detlint; only the physical wait below carries an allow directive).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"montblanc/internal/xrand"
+)
+
+// Config tunes a Client. The zero value of every field has a usable
+// default except BaseURL, which is required.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// AttemptTimeout bounds one HTTP attempt (0 means 65s — a hair
+	// over the service's default request timeout, so a server-side
+	// 504 arrives as a structured error rather than a cut connection).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds total tries including the first (0 means 5).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential ceiling: the wait before
+	// retry n is uniform in [0, min(MaxBackoff, BaseBackoff<<n))
+	// ("full jitter"), plus any server-provided Retry-After. 0 means
+	// 200ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the ceiling (0 means 10s).
+	MaxBackoff time.Duration
+	// Seed drives the jitter draws; a fixed seed replays the exact
+	// retry schedule.
+	Seed uint64
+	// HTTP overrides the transport; nil means a plain http.Client.
+	// Per-attempt deadlines come from context, not Client.Timeout.
+	HTTP *http.Client
+	// Logf receives one line per retry decision; nil means silent.
+	Logf func(format string, args ...interface{})
+	// Sleep overrides the physical wait, for tests; nil means a real
+	// timer honoring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client calls the service with retries. Use New.
+type Client struct {
+	cfg   Config
+	hc    *http.Client
+	rng   *xrand.Rand
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// HTTPError is a non-2xx response, carrying the service's structured
+// error envelope when one was decodable.
+type HTTPError struct {
+	Status  int
+	Code    string // envelope code ("saturated", "timeout", ...) or ""
+	Message string
+
+	// retryAfter is the server's Retry-After ask, used as a floor for
+	// the next backoff wait.
+	retryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("server status %d (%s): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("server status %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the response may succeed on a retry: every
+// 5xx qualifies (503 saturated clears, 504 timeout retries into the
+// result cache, 500s may be transient), no 4xx does.
+func (e *HTTPError) Retryable() bool { return e.Status >= 500 }
+
+// New validates the config and builds a Client.
+func New(cfg Config) (*Client, error) {
+	if strings.TrimSpace(cfg.BaseURL) == "" {
+		return nil, errors.New("client: BaseURL is required")
+	}
+	if cfg.AttemptTimeout < 0 || cfg.BaseBackoff < 0 || cfg.MaxBackoff < 0 {
+		return nil, fmt.Errorf("client: negative timeout/backoff (attempt %v, base %v, cap %v)",
+			cfg.AttemptTimeout, cfg.BaseBackoff, cfg.MaxBackoff)
+	}
+	if cfg.MaxAttempts < 0 {
+		return nil, fmt.Errorf("client: MaxAttempts must be >= 0, got %d", cfg.MaxAttempts)
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = 65 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 200 * time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 10 * time.Second
+	}
+	c := &Client{
+		cfg:   cfg,
+		hc:    cfg.HTTP,
+		rng:   xrand.New(cfg.Seed),
+		sleep: cfg.Sleep,
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{}
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	return c, nil
+}
+
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run POSTs body to /v1/run and returns the response bytes — the
+// service's wire-form result array, byte-identical however many
+// retries it took. ctx bounds the whole call including backoff waits
+// (the total retry budget); each attempt additionally gets
+// AttemptTimeout.
+func (c *Client) Run(ctx context.Context, body []byte) ([]byte, error) {
+	url := strings.TrimSuffix(c.cfg.BaseURL, "/") + "/v1/run"
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := c.backoff(attempt-1, retryAfter(lastErr))
+			c.logf("montblanc call: attempt %d/%d failed (%v); retrying in %v",
+				attempt, c.cfg.MaxAttempts, lastErr, d.Round(time.Millisecond))
+			if err := c.sleep(ctx, d); err != nil {
+				return nil, fmt.Errorf("client: retry budget exhausted after %d attempts: %w (last error: %v)",
+					attempt, err, lastErr)
+			}
+		}
+		out, err := c.attempt(ctx, url, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var he *HTTPError
+		if errors.As(err, &he) && !he.Retryable() {
+			return nil, err // 4xx: the request itself is wrong; retrying cannot help
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: retry budget exhausted after %d attempts: %w (last error: %v)",
+				attempt+1, ctx.Err(), err)
+		}
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt performs one POST under the per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, url string, body []byte) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		he := &HTTPError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			he.Code, he.Message = env.Error.Code, env.Error.Message
+		}
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+			he.retryAfter = ra
+		}
+		return nil, he
+	}
+	return data, nil
+}
+
+// retryAfterSetter: keep the hint on the error so the backoff
+// calculation sees it on the *next* loop iteration.
+func retryAfter(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter handles the delta-seconds form the service emits
+// (HTTP-date forms are ignored — the service never sends them).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff computes the wait after failed attempt n (0-based): a full-
+// jitter draw under an exponentially growing, capped ceiling, plus the
+// server's Retry-After ask as a floor offset — the server knows its
+// saturation horizon better than any client-side guess.
+func (c *Client) backoff(n int, serverAsk time.Duration) time.Duration {
+	ceil := c.cfg.MaxBackoff
+	if n < 62 {
+		if b := c.cfg.BaseBackoff << uint(n); b > 0 && b < ceil {
+			ceil = b
+		}
+	}
+	return serverAsk + time.Duration(c.rng.Jitter(int64(ceil)))
+}
+
+// sleepCtx is the production sleep: a real timer, cancelled by ctx.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d) //detlint:allow wallclock -- retry backoff is physical wait time by design; the schedule itself is seeded and deterministic
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

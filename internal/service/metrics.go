@@ -3,8 +3,10 @@ package service
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"montblanc/internal/runner"
+	"montblanc/internal/service/store"
 	"montblanc/internal/simmpi"
 )
 
@@ -22,6 +24,10 @@ type metrics struct {
 	rejected      atomic.Uint64 // waits rejected 503: queued past the timeout on a full semaphore
 	inflightReqs  atomic.Int64  // /v1/run handlers currently running
 
+	// start anchors uptime_seconds. Wall clock is fine here: uptime is
+	// operator observability, not simulation state.
+	start time.Time
+
 	mu     sync.Mutex
 	perExp map[string]*expStats
 }
@@ -38,7 +44,7 @@ type expStats struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{perExp: make(map[string]*expStats)}
+	return &metrics{start: time.Now(), perExp: make(map[string]*expStats)}
 }
 
 // recordRun accounts one executed simulation.
@@ -85,11 +91,20 @@ type wireMetrics struct {
 	// ratio). A new field on the stable /metrics contract — existing
 	// names never change.
 	Sim simmpi.EngineStats `json:"sim"`
+	// UptimeSeconds is wall-clock seconds since the server was built —
+	// together with the store section it distinguishes a warm restart
+	// (low uptime, high disk_hits) from a long-lived hot cache.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Store is the durable-tier section, present only when the server
+	// runs with -cache-dir. Its field names are part of the stable
+	// contract too (SERVICE.md).
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // snapshot renders the current state. The per-experiment map is
-// deep-copied under the lock so encoding races nothing.
-func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64, inflightRuns int) wireMetrics {
+// deep-copied under the lock so encoding races nothing. storeStats is
+// nil when the durable tier is disabled.
+func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64, inflightRuns int, storeStats *store.Stats) wireMetrics {
 	m.mu.Lock()
 	exps := make(map[string]expStats, len(m.perExp))
 	for id, st := range m.perExp {
@@ -109,5 +124,7 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64, inflightRuns
 		InflightRuns:     inflightRuns,
 		Experiments:      exps,
 		Sim:              simmpi.Engine(),
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Store:            storeStats,
 	}
 }

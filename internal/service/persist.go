@@ -1,0 +1,50 @@
+package service
+
+import (
+	"encoding/json"
+
+	"montblanc/internal/runner"
+)
+
+// The durable tier stores each result as its wire-form JSON (the same
+// shape `montblanc -json` emits and /v1/run serves), so an entry read
+// back after a restart re-encodes byte-identical to the cold run. The
+// store itself guarantees integrity (checksummed header, quarantine on
+// mismatch); this layer only translates runner.Result <-> bytes.
+
+// diskGet consults the durable tier. A checksum-valid blob that fails
+// to decode was written by an incompatible version: it is treated as a
+// miss and the recomputed result overwrites it.
+func (s *Server) diskGet(key string) (runner.Result, bool) {
+	if s.store == nil {
+		return runner.Result{}, false
+	}
+	blob, ok := s.store.Get(key)
+	if !ok {
+		return runner.Result{}, false
+	}
+	var res runner.Result
+	if err := json.Unmarshal(blob, &res); err != nil {
+		s.logf("montblanc serve: stale store entry %s: %v (will recompute)", key, err)
+		return runner.Result{}, false
+	}
+	return res, true
+}
+
+// diskPut persists one computed result. Persistence failures are
+// logged and counted (store disk_errors), never surfaced to the
+// request: the response was already computed and cached in memory —
+// a full or failing disk degrades durability, not availability.
+func (s *Server) diskPut(key string, res runner.Result) {
+	if s.store == nil {
+		return
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		s.logf("montblanc serve: encoding result %s for the store: %v", key, err)
+		return
+	}
+	if err := s.store.Put(key, blob); err != nil {
+		s.logf("montblanc serve: persisting result %s: %v", key, err)
+	}
+}

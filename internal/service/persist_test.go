@@ -1,0 +1,209 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"montblanc/internal/experiments"
+)
+
+// persistMetrics is the slice of /metrics this file asserts on.
+type persistMetrics struct {
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	RunsTotal   uint64  `json:"runs_total"`
+	Uptime      float64 `json:"uptime_seconds"`
+	Store       *struct {
+		DiskHits         uint64 `json:"disk_hits"`
+		DiskMisses       uint64 `json:"disk_misses"`
+		QuarantinedTotal uint64 `json:"quarantined_total"`
+		EntriesOnDisk    int64  `json:"entries_on_disk"`
+		BytesOnDisk      int64  `json:"bytes_on_disk"`
+	} `json:"store"`
+}
+
+// TestWarmRestartServesFromDisk is the tentpole contract end to end in
+// process: a second Server over the same -cache-dir (a restart, as far
+// as the store is concerned — even a SIGKILLed process leaves exactly
+// these files, since every Put is fsynced and renamed before it is
+// acknowledged) answers the identical request byte-equal from disk,
+// with zero new simulations and cache_hits climbing from request one.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	exp := experiments.Experiment{
+		ID:    "toy",
+		Title: "a deterministic toy",
+		Run: func(w io.Writer, o experiments.Options) error {
+			runs.Add(1)
+			fmt.Fprintf(w, "quick=%v seed=%d\n", o.Quick, o.Seed)
+			return nil
+		},
+	}
+	body := `{"experiments":["toy"],"options":{"quick":true,"seed":9}}`
+
+	s1 := mustNew(t, Config{Match: fakeMatch(exp), CacheDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	resp1, cold := postRun(t, ts1, body)
+	ts1.Close()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: status %d: %s", resp1.StatusCode, cold)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("cold run executed %d simulations, want 1", runs.Load())
+	}
+
+	s2 := mustNew(t, Config{Match: fakeMatch(exp), CacheDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp2, warm := postRun(t, ts2, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: status %d: %s", resp2.StatusCode, warm)
+	}
+	if warm != cold {
+		t.Errorf("restart response differs from cold run:\ncold: %q\nwarm: %q", cold, warm)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("restart re-ran the simulation (%d total runs)", runs.Load())
+	}
+	if got := resp2.Header.Get("X-Montblanc-Cache"); got != "hits=1 misses=0" {
+		t.Errorf("restart cache header %q, want hits=1 misses=0", got)
+	}
+
+	var m persistMetrics
+	getJSON(t, ts2, "/metrics", &m)
+	if m.RunsTotal != 0 {
+		t.Errorf("runs_total = %d after restart, want 0", m.RunsTotal)
+	}
+	if m.CacheHits != 1 || m.CacheMisses != 0 {
+		t.Errorf("cache_hits/misses = %d/%d, want 1/0", m.CacheHits, m.CacheMisses)
+	}
+	if m.Store == nil {
+		t.Fatal("/metrics has no store section despite -cache-dir")
+	}
+	if m.Store.DiskHits != 1 {
+		t.Errorf("store.disk_hits = %d, want 1", m.Store.DiskHits)
+	}
+	if m.Store.EntriesOnDisk != 1 || m.Store.BytesOnDisk <= 0 {
+		t.Errorf("store gauges = %d entries / %d bytes, want 1 / > 0",
+			m.Store.EntriesOnDisk, m.Store.BytesOnDisk)
+	}
+
+	// The disk hit was promoted into the LRU: a third identical request
+	// is a memory hit, so disk_hits must not climb again.
+	if resp3, again := postRun(t, ts2, body); resp3.StatusCode != http.StatusOK || again != cold {
+		t.Fatalf("third request: status %d, byte-equal %v", resp3.StatusCode, again == cold)
+	}
+	getJSON(t, ts2, "/metrics", &m)
+	if m.Store.DiskHits != 1 {
+		t.Errorf("store.disk_hits = %d after promoted hit, want still 1", m.Store.DiskHits)
+	}
+	if m.CacheHits != 2 {
+		t.Errorf("cache_hits = %d, want 2", m.CacheHits)
+	}
+}
+
+// TestCorruptStoreEntryRecomputed: a bit-rotted on-disk entry is
+// quarantined and recomputed, never served. (A recompute is a fresh
+// execution, so its measured "seconds" differs — byte identity is the
+// replay contract, not the recompute contract; the simulation output
+// itself is deterministic.)
+func TestCorruptStoreEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	exp := experiments.Experiment{
+		ID:    "toy",
+		Title: "a deterministic toy",
+		Run: func(w io.Writer, o experiments.Options) error {
+			runs.Add(1)
+			fmt.Fprintln(w, "stable output")
+			return nil
+		},
+	}
+	body := `{"experiments":["toy"],"options":{"quick":true,"seed":1}}`
+
+	s1 := mustNew(t, Config{Match: fakeMatch(exp), CacheDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	postRun(t, ts1, body)
+	ts1.Close()
+
+	// Rot one payload byte of the single stored entry.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.res"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("stored entries = %v (err %v), want exactly one", matches, err)
+	}
+	blob, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x40
+	if err := os.WriteFile(matches[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, Config{Match: fakeMatch(exp), CacheDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, warm := postRun(t, ts2, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, warm)
+	}
+	if !strings.Contains(warm, `"output": "stable output\n"`) {
+		t.Errorf("recomputed response lacks the deterministic output: %q", warm)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("runs = %d, want 2 (corrupt entry must be recomputed, not served)", runs.Load())
+	}
+	var m persistMetrics
+	getJSON(t, ts2, "/metrics", &m)
+	if m.Store == nil || m.Store.QuarantinedTotal != 1 {
+		t.Fatalf("store section %+v, want quarantined_total = 1", m.Store)
+	}
+	if corrupt, _ := filepath.Glob(filepath.Join(dir, "*.corrupt")); len(corrupt) != 1 {
+		t.Errorf("quarantine files on disk = %v, want exactly one *.corrupt", corrupt)
+	}
+}
+
+// TestMetricsShape: uptime_seconds is always present; the store
+// section appears only with persistence enabled.
+func TestMetricsShape(t *testing.T) {
+	s := mustNew(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var m persistMetrics
+	getJSON(t, ts, "/metrics", &m)
+	if m.Store != nil {
+		t.Error("store section present without -cache-dir")
+	}
+	if m.Uptime < 0 {
+		t.Errorf("uptime_seconds = %v, want >= 0", m.Uptime)
+	}
+	// Raw-body check: the field really is on the wire even at zero.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `"uptime_seconds"`) {
+		t.Errorf("/metrics body lacks uptime_seconds: %s", raw)
+	}
+}
+
+// TestNewRejectsBadConfig: a negative cache capacity is a loud
+// configuration error, not a silent 1024.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{CacheSize: -1}); err == nil {
+		t.Error("CacheSize -1 accepted")
+	}
+	if _, err := New(Config{CacheDir: string([]byte{0})}); err == nil {
+		t.Error("unusable CacheDir accepted")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"montblanc/internal/platform"
 	"montblanc/internal/report"
 	"montblanc/internal/runner"
+	"montblanc/internal/service/store"
 	"montblanc/internal/simmpi"
 )
 
@@ -44,8 +45,17 @@ type Config struct {
 	// queue on the limit rather than being rejected; the per-request
 	// timeout bounds how long they wait.
 	MaxConcurrent int
-	// CacheSize bounds the result cache in entries (<= 0 means 1024).
+	// CacheSize bounds the in-memory result cache in entries (0 means
+	// 1024; negative is a configuration error New rejects).
 	CacheSize int
+	// CacheDir enables the durable result tier: a disk-backed,
+	// content-addressed store under the in-memory LRU, so a restarted
+	// (even SIGKILLed) server serves prior results from request one.
+	// "" disables persistence.
+	CacheDir string
+	// CachePersistMaxBytes bounds the durable tier's payload bytes on
+	// disk; oldest entries are pruned first. <= 0 means unlimited.
+	CachePersistMaxBytes int64
 	// RequestTimeout bounds one /v1/run request (0 means 60s). A
 	// timed-out request gets a structured 504; the underlying
 	// simulation keeps running and lands in the cache for the retry.
@@ -70,6 +80,7 @@ type Server struct {
 	match  func(args ...string) ([]experiments.Experiment, error)
 	list   func() []experiments.Experiment
 	cache  *resultCache
+	store  *store.Store // durable tier under the LRU; nil without CacheDir
 	flight *flightGroup
 	sem    chan struct{} // counting semaphore: one token per running simulation
 	met    *metrics
@@ -93,8 +104,13 @@ var errShuttingDown = errors.New("shutting down")
 // queue position either way — the work still lands in the cache.
 var errSaturated = errors.New("all simulation slots busy")
 
-// New builds a Server from the config.
-func New(cfg Config) *Server {
+// New builds a Server from the config. It fails on an invalid config
+// (negative CacheSize) or when the durable tier's directory cannot be
+// prepared.
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheSize < 0 {
+		return nil, fmt.Errorf("service: CacheSize must be >= 0, got %d", cfg.CacheSize)
+	}
 	mc := cfg.MaxConcurrent
 	if mc <= 0 {
 		mc = runtime.GOMAXPROCS(0)
@@ -109,6 +125,13 @@ func New(cfg Config) *Server {
 		met:    newMetrics(),
 		mux:    http.NewServeMux(),
 	}
+	if cfg.CacheDir != "" {
+		st, err := store.Open(store.OS{}, cfg.CacheDir, cfg.CachePersistMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening result store: %w", err)
+		}
+		s.store = st
+	}
 	if s.match == nil {
 		s.match = experiments.Match
 	}
@@ -121,7 +144,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -385,6 +408,14 @@ func (s *Server) resolve(ctx context.Context, e experiments.Experiment, o experi
 		s.met.cacheHits.Add(1)
 		return res, true, nil
 	}
+	// Second tier: the durable store. A disk hit is still a cache hit
+	// (the simulation is not re-run — the point of persistence); it is
+	// promoted into the LRU so subsequent lookups stay in memory.
+	if res, ok := s.diskGet(key); ok {
+		s.met.cacheHits.Add(1)
+		s.cache.add(key, res)
+		return res, true, nil
+	}
 	s.met.cacheMisses.Add(1)
 	c, leader := s.flight.claim(key)
 	if leader {
@@ -446,6 +477,7 @@ func (s *Server) execute(e experiments.Experiment, o experiments.Options, key st
 	}
 	s.met.recordRun(res)
 	s.cache.add(key, res)
+	s.diskPut(key, res)
 	return res
 }
 
@@ -470,8 +502,13 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries, evictions := s.cache.stats()
+	var ss *store.Stats
+	if s.store != nil {
+		v := s.store.Stats()
+		ss = &v
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = report.EncodeJSON(w, s.met.snapshot(entries, evictions, s.flight.inflight()))
+	_ = report.EncodeJSON(w, s.met.snapshot(entries, evictions, s.flight.inflight(), ss))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

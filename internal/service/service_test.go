@@ -68,6 +68,17 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, v interface{}) {
 	}
 }
 
+// mustNew builds a Server or fails the test: every config in this file
+// is valid by construction.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // TestCacheHitByteIdentical is the core contract: the second identical
 // request is answered from the cache with exactly the bytes of the
 // cold run, and /metrics shows one underlying simulation.
@@ -82,7 +93,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp)})
+	s := mustNew(t, Config{Match: fakeMatch(exp)})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -145,7 +156,7 @@ func TestConcurrentIdenticalRequestsRunOnce(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp), MaxConcurrent: 4})
+	s := mustNew(t, Config{Match: fakeMatch(exp), MaxConcurrent: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -201,7 +212,7 @@ func TestRequestTimeout(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp), RequestTimeout: 50 * time.Millisecond})
+	s := mustNew(t, Config{Match: fakeMatch(exp), RequestTimeout: 50 * time.Millisecond})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -247,7 +258,7 @@ func TestGracefulShutdown(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp), ShutdownGrace: 10 * time.Second})
+	s := mustNew(t, Config{Match: fakeMatch(exp), ShutdownGrace: 10 * time.Second})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -295,7 +306,7 @@ func TestGracefulShutdown(t *testing.T) {
 }
 
 func TestStructuredErrors(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -344,7 +355,7 @@ func TestStructuredErrors(t *testing.T) {
 // a real quick experiment served twice, byte-identical, with inline
 // request-scoped specs resolvable in the same request.
 func TestRealExperimentEndToEnd(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -377,7 +388,7 @@ func TestRealExperimentEndToEnd(t *testing.T) {
 // sweep it, and the machine is gone (from the registry and from
 // /v1/platforms) afterwards.
 func TestInlineSpecRequestScoped(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -420,7 +431,7 @@ func TestInlineSpecRequestScoped(t *testing.T) {
 }
 
 func TestListEndpointsAndHealth(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -458,7 +469,7 @@ func TestSimWorkersOption(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp)})
+	s := mustNew(t, Config{Match: fakeMatch(exp)})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -501,7 +512,7 @@ func TestSimWorkersOption(t *testing.T) {
 // /metrics carries the DES scheduler aggregate under the "sim" key —
 // an additive extension of the stable field contract.
 func TestMetricsSimSection(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -542,7 +553,7 @@ func TestSaturationVsTimeout(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(hog, starved), MaxConcurrent: 1,
+	s := mustNew(t, Config{Match: fakeMatch(hog, starved), MaxConcurrent: 1,
 		RequestTimeout: 100 * time.Millisecond})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -625,7 +636,7 @@ func TestBadFaultRejected(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp)})
+	s := mustNew(t, Config{Match: fakeMatch(exp)})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -694,7 +705,7 @@ func TestFaultIsCacheKeyMaterial(t *testing.T) {
 			return nil
 		},
 	}
-	s := New(Config{Match: fakeMatch(exp)})
+	s := mustNew(t, Config{Match: fakeMatch(exp)})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"montblanc/internal/xrand"
+)
+
+// Fault is the kind of misbehavior a ChaosFS injects at its scheduled
+// operation index.
+type Fault int
+
+const (
+	// FaultErr makes the scheduled operation fail outright without
+	// touching the inner FS: a failed open, rename, remove, fsync.
+	FaultErr Fault = iota
+	// FaultShortWrite makes the scheduled Write persist only a seeded
+	// prefix of its buffer before failing: a torn write.
+	FaultShortWrite
+	// FaultCorruptRead makes the scheduled ReadFile return the real
+	// bytes with one seeded bit flipped, and *no error*: silent bit
+	// rot, the case checksums exist for.
+	FaultCorruptRead
+	numFaults
+)
+
+// ErrCrashed is returned by every operation after a ChaosFS whose
+// schedule says "crash" has fired: the process is dead, nothing more
+// reaches the disk. The workload driving the store is expected to stop
+// on it, Crash() the underlying MemFS, and reopen.
+var ErrCrashed = errors.New("chaos: crashed")
+
+// errInjected is the error carried by non-crash faults.
+var errInjected = errors.New("chaos: injected fault")
+
+// ChaosFS wraps an FS and injects exactly one scheduled fault: at
+// operation index FaultAt (counting every FS and File call), fault
+// Kind fires; if CrashAfter is set every later operation returns
+// ErrCrashed. All randomness (short-write lengths, flipped bits) comes
+// from the seeded generator, so a failing schedule replays exactly.
+type ChaosFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	r          *xrand.Rand
+	faultAt    int
+	kind       Fault
+	crashAfter bool
+	n          int
+	fired      bool
+	crashed    bool
+}
+
+// NewChaos schedules one fault of the given kind at operation index
+// faultAt over inner. If faultAt is beyond the workload's operation
+// count the fault simply never fires — a valid (fault-free) schedule.
+func NewChaos(inner FS, r *xrand.Rand, faultAt int, kind Fault, crashAfter bool) *ChaosFS {
+	return &ChaosFS{inner: inner, r: r, faultAt: faultAt, kind: kind, crashAfter: crashAfter}
+}
+
+// Fired reports whether the scheduled fault has triggered.
+func (c *ChaosFS) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Crashed reports whether the simulated process is dead: the fault
+// fired with CrashAfter set, so every operation now fails.
+func (c *ChaosFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// op advances the operation counter. It returns ErrCrashed after a
+// crash, errInjected on the scheduled index, nil otherwise.
+func (c *ChaosFS) op() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	idx := c.n
+	c.n++
+	if c.fired || idx != c.faultAt {
+		return nil
+	}
+	c.fired = true
+	if c.crashAfter {
+		c.crashed = true
+	}
+	return errInjected
+}
+
+func (c *ChaosFS) MkdirAll(dir string) error {
+	if err := c.op(); err != nil {
+		return err
+	}
+	return c.inner.MkdirAll(dir)
+}
+
+func (c *ChaosFS) ReadDir(dir string) ([]EntryInfo, error) {
+	if err := c.op(); err != nil {
+		return nil, err
+	}
+	return c.inner.ReadDir(dir)
+}
+
+func (c *ChaosFS) ReadFile(path string) ([]byte, error) {
+	err := c.op()
+	if errors.Is(err, errInjected) && c.kind == FaultCorruptRead {
+		data, rerr := c.inner.ReadFile(path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(data) > 0 {
+			c.mu.Lock()
+			i := c.r.Intn(len(data))
+			bit := byte(1) << uint(c.r.Intn(8))
+			c.mu.Unlock()
+			data[i] ^= bit
+		}
+		return data, nil // bit rot is silent: no error, wrong bytes
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.ReadFile(path)
+}
+
+func (c *ChaosFS) Create(path string) (File, error) {
+	if err := c.op(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{c: c, f: f}, nil
+}
+
+func (c *ChaosFS) Rename(oldPath, newPath string) error {
+	if err := c.op(); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldPath, newPath)
+}
+
+func (c *ChaosFS) Remove(path string) error {
+	if err := c.op(); err != nil {
+		return err
+	}
+	return c.inner.Remove(path)
+}
+
+func (c *ChaosFS) SyncDir(dir string) error {
+	if err := c.op(); err != nil {
+		return err
+	}
+	return c.inner.SyncDir(dir)
+}
+
+func (c *ChaosFS) IsNotExist(err error) bool { return c.inner.IsNotExist(err) }
+
+// chaosFile threads File operations through the shared op counter.
+type chaosFile struct {
+	c *ChaosFS
+	f File
+}
+
+func (cf *chaosFile) Write(p []byte) (int, error) {
+	err := cf.c.op()
+	if errors.Is(err, errInjected) && cf.c.kind == FaultShortWrite {
+		cf.c.mu.Lock()
+		k := cf.c.r.Intn(len(p) + 1)
+		cf.c.mu.Unlock()
+		n, werr := cf.f.Write(p[:k])
+		if werr != nil {
+			return n, werr
+		}
+		return n, errInjected // torn: a prefix reached the file
+	}
+	if err != nil {
+		return 0, err
+	}
+	return cf.f.Write(p)
+}
+
+func (cf *chaosFile) Sync() error {
+	if err := cf.c.op(); err != nil {
+		return err
+	}
+	return cf.f.Sync()
+}
+
+func (cf *chaosFile) Close() error {
+	if err := cf.c.op(); err != nil {
+		// The descriptor is gone either way; make sure the inner file
+		// is not left open in the MemFS accounting.
+		_ = cf.f.Close()
+		return err
+	}
+	return cf.f.Close()
+}

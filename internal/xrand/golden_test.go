@@ -155,3 +155,36 @@ func TestGoldenSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenJitter pins the backoff-jitter stream: one Uint64 per
+// draw, reduced modulo the bound like Intn. The resilient HTTP client
+// (internal/service/client) derives its retry schedule from this, so
+// drift here would silently change every client's timing behavior.
+func TestGoldenJitter(t *testing.T) {
+	want := []struct {
+		seed   uint64
+		values []int64
+	}{
+		{0, []int64{253066420, 169335082, 846508768, 626143532}},
+		{42, []int64{402558742, 964543102, 248559009, 182124193}},
+	}
+	for _, k := range want {
+		seed, ws := k.seed, k.values
+		r := New(seed)
+		for i, w := range ws {
+			if got := r.Jitter(1_000_000_000); got != w {
+				t.Errorf("seed %d: Jitter #%d = %d, want %d", seed, i, got, w)
+			}
+		}
+	}
+	r := New(0)
+	if got := r.Jitter(0); got != 0 {
+		t.Errorf("Jitter(0) = %d, want 0", got)
+	}
+	if got := r.Jitter(-5); got != 0 {
+		t.Errorf("Jitter(-5) = %d, want 0", got)
+	}
+	if got := r.Jitter(1); got != 0 {
+		t.Errorf("Jitter(1) = %d, want 0", got)
+	}
+}

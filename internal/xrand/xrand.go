@@ -93,6 +93,19 @@ func (r *Rand) ExpFloat64() float64 {
 	}
 }
 
+// Jitter returns a uniform duration in [0, d) for randomized backoff
+// ("full jitter"): retry storms decorrelate because no two clients
+// draw the same schedule, yet a seeded client replays its delays
+// exactly. It consumes one Uint64; d <= 0 returns 0. The reduction is
+// the same modulo recipe as Intn, so the stream is pinned by the
+// golden vectors.
+func (r *Rand) Jitter(d int64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(r.Uint64() % uint64(d))
+}
+
 // Perm returns a random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)
